@@ -1,0 +1,59 @@
+// vega-lift runs Error Lifting for the ALU and FPU, with and without the
+// initial-value-dependency mitigation, and prints the paper's Table 4
+// (construction outcomes) and Table 5 (suite sizes and cycle costs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/lift"
+	"repro/internal/report"
+)
+
+func main() {
+	years := flag.Float64("years", 10, "assumed lifetime in years")
+	flag.Parse()
+
+	var t4rows, t5rows [][]string
+	for _, mitigation := range []bool{false, true} {
+		for _, mk := range []func(core.Config) *core.Workflow{core.NewALU, core.NewFPU} {
+			w := mk(core.Config{Years: *years, Lift: lift.Config{Mitigation: mitigation}})
+			fmt.Printf("lifting %s (mitigation=%v) ...\n", w.Describe(), mitigation)
+			if _, err := w.ErrorLifting(); err != nil {
+				log.Fatal(err)
+			}
+			t4 := core.Table4(w.Module.Name, mitigation, w.Results)
+			t4rows = append(t4rows, []string{
+				t4.Unit, cfgName(mitigation),
+				report.Pct(t4.Pct(t4.S)), report.Pct(t4.Pct(t4.UR)),
+				report.Pct(t4.Pct(t4.FF)), report.Pct(t4.Pct(t4.FC)),
+				fmt.Sprint(t4.Total),
+			})
+			t5, err := core.Table5(w.Module.Name, mitigation, w.Suite())
+			if err != nil {
+				log.Fatal(err)
+			}
+			t5rows = append(t5rows, []string{
+				t5.Unit, cfgName(mitigation),
+				fmt.Sprint(t5.TestCases), fmt.Sprint(t5.Cycles),
+			})
+		}
+	}
+
+	fmt.Println("\nTable 4 — result of test case construction (% of unique pairs):")
+	fmt.Print(report.Table(
+		[]string{"Unit", "Config", "S", "UR", "FF", "FC", "pairs"}, t4rows))
+	fmt.Println("\nTable 5 — test cases generated and execution cycles:")
+	fmt.Print(report.Table(
+		[]string{"Unit", "Config", "Test Cases", "Cycles"}, t5rows))
+}
+
+func cfgName(mitigation bool) string {
+	if mitigation {
+		return "w/ mitigation"
+	}
+	return "w/o mitigation"
+}

@@ -1,0 +1,53 @@
+// vega-overhead measures the runtime overhead of Profile-Guided Test
+// Integration over the embench workloads — the paper's Figure 9, with
+// the "-N" (no mitigation) and "-M" (with mitigation) suite configs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/lift"
+	"repro/internal/report"
+)
+
+func main() {
+	budget := flag.Float64("budget", 0.01, "overhead budget fraction")
+	years := flag.Float64("years", 10, "assumed lifetime in years")
+	flag.Parse()
+
+	for _, mitigation := range []bool{false, true} {
+		cfg := core.Config{Years: *years, Lift: lift.Config{Mitigation: mitigation}}
+		wALU := core.NewALU(cfg)
+		wFPU := core.NewFPU(cfg)
+		fmt.Printf("building suites (mitigation=%v) ...\n", mitigation)
+		if _, err := wALU.ErrorLifting(); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := wFPU.ErrorLifting(); err != nil {
+			log.Fatal(err)
+		}
+		suite := core.MergeSuites(wALU.Suite(), wFPU.Suite())
+		label := "-N"
+		if mitigation {
+			label = "-M"
+		}
+		fmt.Printf("integrating %d test cases into embench (budget %.1f%%) ...\n",
+			len(suite.Cases), *budget*100)
+		rows, err := core.Figure9(suite, label, *budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var labels []string
+		var values []float64
+		for _, r := range rows {
+			labels = append(labels, r.App+r.Config)
+			values = append(values, r.OverheadPct)
+		}
+		fmt.Printf("\nFigure 9 — performance overhead (%s suite):\n", label)
+		fmt.Print(report.Bars(labels, values, 40))
+		fmt.Printf("average overhead: %.3f%%\n\n", core.MeanOverheadPct(rows))
+	}
+}

@@ -1,0 +1,93 @@
+// vega runs the complete three-phase workflow end to end for both units
+// and prints a summary of every phase: the aging analysis, the lifted
+// test suite, a detection-quality check against emulated aged silicon,
+// and a sample integration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/embench"
+	"repro/internal/integrate"
+	"repro/internal/lift"
+	"repro/internal/profile"
+	"repro/internal/report"
+)
+
+func main() {
+	years := flag.Float64("years", 10, "assumed lifetime in years")
+	mitigation := flag.Bool("mitigation", false, "enable the initial-value-dependency mitigation")
+	budget := flag.Float64("budget", 0.01, "integration overhead budget")
+	flag.Parse()
+
+	cfg := core.Config{Years: *years, Lift: lift.Config{Mitigation: *mitigation}}
+	var suites []*lift.Suite
+
+	for _, mk := range []func(core.Config) *core.Workflow{core.NewALU, core.NewFPU} {
+		w := mk(cfg)
+		fmt.Printf("== %s ==\n", w.Describe())
+
+		fmt.Println("phase 1: aging analysis (signal probability + aged STA)")
+		res, err := w.AgingAnalysis()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  unit op density: %.4f ops/instruction over %d workload instructions\n",
+			w.OpDensity, w.TotalInsts)
+		fmt.Printf("  aged WNS: setup %+.1fps (%d violating paths), hold %+.1fps (%d)\n",
+			res.WNSSetup, res.NumSetupViolations, res.WNSHold, res.NumHoldViolations)
+		fmt.Printf("  unique aging-prone pairs: %d\n", len(res.Pairs))
+
+		fmt.Println("phase 2: error lifting (failure models + BMC + instruction construction)")
+		if _, err := w.ErrorLifting(); err != nil {
+			log.Fatal(err)
+		}
+		t4 := core.Table4(w.Module.Name, *mitigation, w.Results)
+		fmt.Printf("  outcomes: S=%d UR=%d FF=%d FC=%d (of %d pairs)\n",
+			t4.S, t4.UR, t4.FF, t4.FC, t4.Total)
+		suite := w.Suite()
+		cycles, err := core.SuiteCycles(suite)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  suite: %d test cases, %d cycles per full pass\n", len(suite.Cases), cycles)
+
+		fmt.Println("phase 2b: validation against emulated aged silicon")
+		for _, q := range w.TestQuality(suite) {
+			fmt.Printf("  FM C=%s: detected %.1f%% (B %.1f%%, L %.1f%%, S %.1f%%)\n",
+				q.FM, q.Pct(q.Detected), q.Pct(q.Before), q.Pct(q.Later), q.Pct(q.Stall))
+		}
+		suites = append(suites, suite)
+		fmt.Println()
+	}
+
+	fmt.Println("phase 3: profile-guided test integration (sample: crc32)")
+	merged := core.MergeSuites(suites...)
+	b, _ := embench.ByName("crc32")
+	img := b.Build()
+	prof := profile.Collect(img, core.MemSize, core.MaxCycles)
+	site, err := integrate.ChooseSite(prof, merged.InstCount(), *budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  chosen block @%#x (count %d), throttle period %d, est overhead %.3f%%\n",
+		site.Block.Start, site.Block.Count, site.Period, site.EffOverhead*100)
+	o, err := integrate.MeasureOverhead("crc32", img, merged, *budget, core.MemSize, core.MaxCycles)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  measured overhead: %.3f%% (%d -> %d cycles)\n",
+		o.Fraction*100, o.BaselineCycles, o.TestedCycles)
+
+	fmt.Println("\nper-pair lifting outcomes:")
+	var rows [][]string
+	for _, s := range suites {
+		for _, tc := range s.Cases {
+			rows = append(rows, []string{s.Unit, tc.Name, fmt.Sprint(len(tc.Ops)), tc.CoverPointName()})
+		}
+	}
+	fmt.Print(report.Table([]string{"Unit", "Test", "Ops", "Observes"}, rows))
+}

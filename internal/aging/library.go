@@ -1,0 +1,82 @@
+package aging
+
+import "repro/internal/cell"
+
+// Library is the pre-computed aging-aware timing library: for every cell
+// kind it tabulates the delay-degradation factor over a grid of signal
+// probabilities, at a fixed lifetime. The paper pre-computes the same
+// characterization once per standard-cell library to accelerate the
+// aging-aware STA (§3.2.2); STA then looks cells up by their profiled SP.
+type Library struct {
+	Base  *cell.Library
+	Model *Model
+	Years float64
+
+	spGrid  []float64
+	factors [cell.NumKinds][]float64
+}
+
+// gridPoints is the SP characterization resolution.
+const gridPoints = 41
+
+// NewLibrary characterizes the base timing library against the aging
+// model at the given lifetime.
+func NewLibrary(base *cell.Library, m *Model, years float64) *Library {
+	l := &Library{Base: base, Model: m, Years: years}
+	l.spGrid = make([]float64, gridPoints)
+	for i := range l.spGrid {
+		l.spGrid[i] = float64(i) / float64(gridPoints-1)
+	}
+	for k := 0; k < cell.NumKinds; k++ {
+		l.factors[k] = make([]float64, gridPoints)
+		for i, sp := range l.spGrid {
+			l.factors[k][i] = m.DelayFactor(cell.Kind(k), sp, years)
+		}
+	}
+	return l
+}
+
+// Factor returns the tabulated delay-degradation factor for kind k at
+// signal probability sp, with linear interpolation between grid points.
+func (l *Library) Factor(k cell.Kind, sp float64) float64 {
+	if sp <= 0 {
+		return l.factors[k][0]
+	}
+	if sp >= 1 {
+		return l.factors[k][gridPoints-1]
+	}
+	pos := sp * float64(gridPoints-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	return l.factors[k][i]*(1-frac) + l.factors[k][i+1]*frac
+}
+
+// AgedTiming returns the cell timing with aged propagation delays. Both
+// the minimum and maximum delays slow by the same factor (the whole cell
+// drives weaker); constraint windows (setup/hold) are unchanged — they
+// are properties of the capturing flip-flop's sampling circuit that the
+// paper's model leaves nominal.
+func (l *Library) AgedTiming(k cell.Kind, sp float64) cell.Timing {
+	t := l.Base.Timing[k]
+	f := l.Factor(k, sp)
+	t.DelayMin *= f
+	t.DelayMax *= f
+	return t
+}
+
+// CurvePoint is one sample of a degradation curve (the paper's Figure 4).
+type CurvePoint struct {
+	Years  float64
+	Factor float64 // multiplicative delay factor
+}
+
+// DegradationCurve samples the delay degradation of a cell kind at a
+// fixed SP over time — one curve of Figure 4.
+func DegradationCurve(m *Model, k cell.Kind, sp float64, maxYears float64, points int) []CurvePoint {
+	out := make([]CurvePoint, points)
+	for i := 0; i < points; i++ {
+		yr := maxYears * float64(i) / float64(points-1)
+		out[i] = CurvePoint{Years: yr, Factor: m.DelayFactor(k, sp, yr)}
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package alu
+
+import (
+	"repro/internal/module"
+	"repro/internal/netlist"
+	"repro/internal/synth"
+)
+
+// PeriodPs is the ALU's target clock period: 167 MHz, matching the
+// paper's synthesis target for the CV32E40P ALU.
+const PeriodPs = 5988.0
+
+// Build synthesizes the ALU into a gate-level netlist and returns it with
+// its analysis metadata.
+//
+// Microarchitecture (2-stage pipeline, valid handshake):
+//
+//	stage 1: operand/op registers (clock-gated by in_valid) + valid_q
+//	stage 2: full datapath (adder, subtractor, barrel shifters, logic
+//	         ops, comparators) muxed by a one-hot op decode into the
+//	         result registers (clock-gated by valid_q), plus out_valid
+//
+// The clock tree has depth 3 (8 leaves). Leaf 0 is ungated and clocks the
+// valid pipeline; leaves 1-5 are gated by in_valid (operand isolation);
+// leaves 6-7 are gated by valid_q (result registers).
+func Build() *module.Module {
+	b := netlist.NewBuilder("alu")
+	c := synth.NewC(b)
+
+	clk := b.Clock("clk")
+	inValid := b.Input(module.PortInValid)
+	op := b.InputBus(module.PortOp, OpWidth)
+	a := b.InputBus(module.PortA, 32)
+	bo := b.InputBus(module.PortB, 32)
+
+	// Clock tree. Result-register gates (leaves 6, 7) are temporarily
+	// enabled by in_valid and rewired to valid_q once it exists.
+	opts := []synth.ClockTreeOption{synth.WithLeafChain(1)}
+	for leaf := 1; leaf <= 7; leaf++ {
+		opts = append(opts, synth.WithLeafGate(leaf, inValid))
+	}
+	tree := c.BuildClockTree(clk, 3, opts...)
+
+	// Stage 1: input registers.
+	validQ := b.AddDFFNamed("valid_q", inValid, tree.Leaves[0], false)
+	aq := append(
+		c.RegisterBus(a[0:16], tree.Leaves[1], 0),
+		c.RegisterBus(a[16:32], tree.Leaves[2], 0)...)
+	bq := append(
+		c.RegisterBus(bo[0:16], tree.Leaves[3], 0),
+		c.RegisterBus(bo[16:32], tree.Leaves[4], 0)...)
+	opq := c.RegisterBus(op, tree.Leaves[5], 0)
+
+	// Rewire result-leaf clock gates to valid_q.
+	for _, leaf := range []int{6, 7} {
+		b.RewireInput(tree.GateCell[leaf], 1, validQ)
+	}
+
+	// Stage 2: datapath.
+	sum, _ := c.Adder(aq, bq, c.Zero())
+	diff, noBorrow := c.Sub(aq, bq)
+	andv := c.AndBus(aq, bq)
+	orv := c.OrBus(aq, bq)
+	xorv := c.XorBus(aq, bq)
+	shamt := bq[0:5]
+	sll := c.ShiftLeft(aq, shamt)
+	srl := c.ShiftRightL(aq, shamt)
+	sra := c.ShiftRightA(aq, shamt)
+
+	eq := c.EqualBus(aq, bq)
+	ltu := c.Not(noBorrow)
+	diffSign := c.Xor(aq[31], bq[31])
+	lt := c.Mux(diffSign, ltu, aq[31])
+	slt := c.ZeroExtend(synth.Bus{lt}, 32)
+	sltu := c.ZeroExtend(synth.Bus{ltu}, 32)
+
+	onehot := c.Decoder(opq)
+	result := c.Select1H(onehot[0:NumOps], []synth.Bus{
+		sum, diff, andv, orv, xorv, sll, srl, sra, slt, sltu,
+	})
+
+	resultQ := append(
+		c.RegisterBus(result[0:16], tree.Leaves[6], 0),
+		c.RegisterBus(result[16:32], tree.Leaves[7], 0)...)
+	flagsQ := c.RegisterBus(synth.Bus{eq, lt, ltu}, tree.Leaves[6], 0)
+	outValid := b.AddDFFNamed("out_valid_q", validQ, tree.Leaves[0], false)
+
+	b.OutputBus(module.PortResult, resultQ)
+	b.OutputBus(module.PortFlags, flagsQ)
+	b.Output(module.PortOutValid, outValid)
+
+	return &module.Module{
+		Name:        "ALU",
+		Netlist:     b.MustBuild(),
+		Tree:        tree,
+		Latency:     2,
+		OpWidth:     OpWidth,
+		FlagWidth:   FlagWidth,
+		PeriodPs:    PeriodPs,
+		SynthMargin: 0.0243,
+		Golden: func(op, a, b uint32) (uint32, uint32) {
+			return Eval(Op(op), a, b), Flags(a, b)
+		},
+		OpValid: func(op uint32) bool { return Op(op).Valid() },
+	}
+}

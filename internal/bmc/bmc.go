@@ -1,0 +1,436 @@
+// Package bmc implements bounded model checking over netlists: it unrolls
+// the synchronous circuit k cycles into CNF (Tseitin encoding), adds the
+// caller's assume-constraints on input ports, and asks the CDCL solver
+// (internal/sat) for an input sequence satisfying a cover property — the
+// same `cover property (o != o_s)` query the paper hands to JasperGold in
+// its Trace Generation step (§3.3.3).
+//
+// Verdicts map to the paper's Table 4 outcomes: Covered (a trace exists —
+// "S" once instruction construction succeeds), Unreachable (the property
+// is UNSAT through the unroll bound, which exceeds the sequential depth
+// of these feed-forward pipeline modules — "UR"), and Timeout (the
+// solver's conflict budget ran out — "FF").
+package bmc
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/fault"
+	"repro/internal/netlist"
+	"repro/internal/sat"
+	"repro/internal/sim"
+)
+
+// Config parameterizes a cover query.
+type Config struct {
+	// MaxDepth is the unroll bound in cycles (default 8). The modules
+	// under analysis are two-stage pipelines whose architectural state is
+	// fully input-controlled within three cycles, so the default bound
+	// exceeds their sequential diameter and an UNSAT verdict is a proof.
+	MaxDepth int
+	// MaxConflicts bounds solver effort per depth (default 2,000,000);
+	// exceeding it yields Timeout — the paper's "FF" outcome.
+	MaxConflicts int64
+	// Assume restricts input-port values per cycle (the paper's
+	// assume-property input restrictions).
+	Assume []PortConstraint
+	// FixedPulse, when set, pins a 1-bit input port to a strict cadence:
+	// high exactly when the cycle index is a multiple of Period. This
+	// encodes how the surrounding in-order CPU actually drives the
+	// module — one operation every issue slot, the unit idle in between
+	// — so that every produced trace is directly realizable as an
+	// instruction sequence (§3.3.3's microarchitectural restrictions).
+	FixedPulse *Pulse
+	// ValidPort, when set, names the 1-bit handshake output gating
+	// architectural observability. A divergence on a data output then
+	// only counts when the faulty (shadow) machine asserts the
+	// handshake; a divergence on the handshake bit itself always counts
+	// (the software-visible symptom is a stall). This is the
+	// microarchitecture-aware restriction of §3.3.3 that keeps traces
+	// convertible to instructions.
+	ValidPort string
+}
+
+// PortConstraint requires an input port to take one of the allowed
+// values on every cycle.
+type PortConstraint struct {
+	Port    string
+	Allowed []uint64
+}
+
+// Pulse pins a 1-bit port high exactly every Period cycles (see
+// Config.FixedPulse).
+type Pulse struct {
+	Port   string
+	Period int
+}
+
+// Verdict is the outcome of a cover query.
+type Verdict int
+
+// Outcomes.
+const (
+	Covered Verdict = iota
+	Unreachable
+	Timeout
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Covered:
+		return "covered"
+	case Unreachable:
+		return "unreachable"
+	}
+	return "timeout"
+}
+
+// Trace is a cycle-accurate module-level input sequence (the paper's
+// Table 2 artifact), plus which cover point fired and when.
+type Trace struct {
+	Cycles     int
+	Inputs     map[string][]uint64 // port -> per-cycle value
+	CoverCycle int
+	CoverPoint fault.CoverPoint
+}
+
+// Result bundles the verdict with the trace (when covered).
+type Result struct {
+	Verdict Verdict
+	Trace   *Trace
+	Depth   int // unroll depth at which the verdict was reached
+}
+
+// Cover searches for an input sequence that makes any of the cover
+// points differ from its shadow, using iterative deepening up to
+// MaxDepth.
+func Cover(nl *netlist.Netlist, covers []fault.CoverPoint, cfg Config) *Result {
+	if cfg.MaxDepth == 0 {
+		cfg.MaxDepth = 8
+	}
+	if cfg.MaxConflicts == 0 {
+		cfg.MaxConflicts = 2000000
+	}
+	if len(covers) == 0 {
+		return &Result{Verdict: Unreachable, Depth: 0}
+	}
+	// Two-step deepening: a shallow unroll catches the common case
+	// cheaply; the full-bound unroll both finds deep traces and, when
+	// UNSAT, constitutes the unreachability proof (the bound exceeds the
+	// modules' sequential diameter).
+	depths := []int{4, cfg.MaxDepth}
+	if cfg.MaxDepth <= 4 {
+		depths = []int{cfg.MaxDepth}
+	}
+	for _, depth := range depths {
+		u := newUnroller(nl, depth, cfg)
+		st := u.solveCover(covers)
+		switch st {
+		case sat.Sat:
+			return &Result{Verdict: Covered, Trace: u.extract(covers), Depth: depth}
+		case sat.Unknown:
+			return &Result{Verdict: Timeout, Depth: depth}
+		}
+	}
+	return &Result{Verdict: Unreachable, Depth: cfg.MaxDepth}
+}
+
+// Replay simulates the instrumented netlist under the trace's inputs and
+// reports whether the cover point actually diverges at the reported
+// cycle — the soundness check that every BMC result in this repository
+// is validated against (DESIGN.md invariants).
+func Replay(nl *netlist.Netlist, tr *Trace) bool {
+	s := sim.New(nl)
+	for t := 0; t < tr.Cycles; t++ {
+		for port, vals := range tr.Inputs {
+			s.SetInput(port, vals[t])
+		}
+		if t == tr.CoverCycle {
+			return s.Net(tr.CoverPoint.Orig) != s.Net(tr.CoverPoint.Shadow)
+		}
+		s.Step()
+	}
+	return false
+}
+
+type unroller struct {
+	nl    *netlist.Netlist
+	depth int
+	cfg   Config
+	s     *sat.Solver
+
+	// vars[t][net] is the solver variable of a net at cycle t; -1 if not
+	// yet allocated.
+	vars [][]int
+
+	constTrue  int
+	constFalse int
+}
+
+func newUnroller(nl *netlist.Netlist, depth int, cfg Config) *unroller {
+	u := &unroller{nl: nl, depth: depth, cfg: cfg, s: sat.New()}
+	u.s.MaxConflicts = cfg.MaxConflicts
+	u.vars = make([][]int, depth)
+	for t := range u.vars {
+		u.vars[t] = make([]int, nl.NumNets)
+		for i := range u.vars[t] {
+			u.vars[t][i] = -1
+		}
+	}
+	u.constTrue = u.s.NewVar()
+	u.constFalse = u.s.NewVar()
+	u.s.AddClause(sat.MkLit(u.constTrue, false))
+	u.s.AddClause(sat.MkLit(u.constFalse, true))
+	u.encode()
+	return u
+}
+
+func (u *unroller) lit(t int, n netlist.NetID, neg bool) sat.Lit {
+	return sat.MkLit(u.vars[t][n], neg)
+}
+
+// encode builds the full k-cycle CNF.
+func (u *unroller) encode() {
+	nl := u.nl
+
+	// Allocate input and state variables for every cycle.
+	for t := 0; t < u.depth; t++ {
+		if nl.ClockRoot != netlist.NoNet {
+			u.vars[t][nl.ClockRoot] = u.constTrue // root clock always enabled
+		}
+		for _, p := range nl.Inputs {
+			for _, n := range p.Bits {
+				u.vars[t][n] = u.s.NewVar()
+			}
+		}
+		for _, c := range nl.Cells {
+			if c.Kind == cell.DFF {
+				u.vars[t][c.Out] = u.s.NewVar()
+			}
+		}
+	}
+
+	// Initial state: reset values.
+	for _, c := range nl.Cells {
+		if c.Kind == cell.DFF {
+			u.s.AddClause(sat.MkLit(u.vars[0][c.Out], !c.Init))
+		}
+	}
+
+	// Combinational logic per cycle, then transitions.
+	for t := 0; t < u.depth; t++ {
+		for _, cid := range nl.Topo() {
+			u.encodeCell(t, &nl.Cells[cid])
+		}
+		if t+1 < u.depth {
+			for _, c := range nl.Cells {
+				if c.Kind != cell.DFF {
+					continue
+				}
+				// next = clk ? D : cur  (clock nets carry the enable).
+				next := u.vars[t+1][c.Out]
+				u.encodeMux(next, u.vars[t][c.Out], u.vars[t][c.In[0]], u.vars[t][c.Clk])
+			}
+		}
+		u.encodeAssumes(t)
+	}
+
+	if fp := u.cfg.FixedPulse; fp != nil {
+		p, ok := nl.FindInput(fp.Port)
+		if !ok || len(p.Bits) != 1 {
+			panic(fmt.Sprintf("bmc: FixedPulse port %q is not a 1-bit input", fp.Port))
+		}
+		for t := 0; t < u.depth; t++ {
+			high := t%fp.Period == 0
+			u.s.AddClause(sat.MkLit(u.vars[t][p.Bits[0]], !high))
+		}
+	}
+}
+
+// encodeAssumes adds the per-cycle input restrictions.
+func (u *unroller) encodeAssumes(t int) {
+	for _, pc := range u.cfg.Assume {
+		p, ok := u.nl.FindInput(pc.Port)
+		if !ok {
+			panic(fmt.Sprintf("bmc: assume on unknown port %q", pc.Port))
+		}
+		var sel []sat.Lit
+		for _, v := range pc.Allowed {
+			// aux -> bits match v
+			aux := u.s.NewVar()
+			for i, n := range p.Bits {
+				bitSet := v>>uint(i)&1 == 1
+				u.s.AddClause(sat.MkLit(aux, true), u.lit(t, n, !bitSet))
+			}
+			sel = append(sel, sat.MkLit(aux, false))
+		}
+		u.s.AddClause(sel...)
+	}
+}
+
+// fresh allocates the output variable of a combinational cell.
+func (u *unroller) out(t int, n netlist.NetID) int {
+	if u.vars[t][n] == -1 {
+		u.vars[t][n] = u.s.NewVar()
+	}
+	return u.vars[t][n]
+}
+
+func (u *unroller) encodeCell(t int, c *netlist.Cell) {
+	s := u.s
+	switch c.Kind {
+	case cell.TIE0:
+		u.vars[t][c.Out] = u.constFalse
+	case cell.TIE1:
+		u.vars[t][c.Out] = u.constTrue
+	case cell.BUF, cell.CLKBUF:
+		u.vars[t][c.Out] = u.vars[t][c.In[0]]
+	case cell.INV:
+		y := u.out(t, c.Out)
+		a := u.vars[t][c.In[0]]
+		s.AddClause(sat.MkLit(y, false), sat.MkLit(a, false))
+		s.AddClause(sat.MkLit(y, true), sat.MkLit(a, true))
+	case cell.AND2, cell.CLKGATE:
+		u.encodeAnd(u.out(t, c.Out), u.vars[t][c.In[0]], u.vars[t][c.In[1]], false)
+	case cell.NAND2:
+		u.encodeAnd(u.out(t, c.Out), u.vars[t][c.In[0]], u.vars[t][c.In[1]], true)
+	case cell.OR2:
+		u.encodeOr(u.out(t, c.Out), u.vars[t][c.In[0]], u.vars[t][c.In[1]], false)
+	case cell.NOR2:
+		u.encodeOr(u.out(t, c.Out), u.vars[t][c.In[0]], u.vars[t][c.In[1]], true)
+	case cell.XOR2:
+		u.encodeXor(u.out(t, c.Out), u.vars[t][c.In[0]], u.vars[t][c.In[1]], false)
+	case cell.XNOR2:
+		u.encodeXor(u.out(t, c.Out), u.vars[t][c.In[0]], u.vars[t][c.In[1]], true)
+	case cell.MUX2:
+		u.encodeMux(u.out(t, c.Out), u.vars[t][c.In[0]], u.vars[t][c.In[1]], u.vars[t][c.In[2]])
+	case cell.AOI21:
+		// y = !((a&b)|c): tmp = a&b; y = !(tmp|c).
+		tmp := u.s.NewVar()
+		u.encodeAnd(tmp, u.vars[t][c.In[0]], u.vars[t][c.In[1]], false)
+		u.encodeOr(u.out(t, c.Out), tmp, u.vars[t][c.In[2]], true)
+	case cell.OAI21:
+		tmp := u.s.NewVar()
+		u.encodeOr(tmp, u.vars[t][c.In[0]], u.vars[t][c.In[1]], false)
+		u.encodeAnd(u.out(t, c.Out), tmp, u.vars[t][c.In[2]], true)
+	case cell.DFF:
+		// handled by the transition relation
+	default:
+		panic("bmc: cannot encode " + c.Kind.String())
+	}
+}
+
+// encodeAnd emits y = a&b (or y = !(a&b) when neg). With MkLit(v, true)
+// denoting ¬v, AND is (y ∨ ¬a ∨ ¬b)(¬y ∨ a)(¬y ∨ b); neg flips y's
+// polarity throughout.
+func (u *unroller) encodeAnd(y, a, b int, neg bool) {
+	s := u.s
+	s.AddClause(sat.MkLit(y, neg), sat.MkLit(a, true), sat.MkLit(b, true))
+	s.AddClause(sat.MkLit(y, !neg), sat.MkLit(a, false))
+	s.AddClause(sat.MkLit(y, !neg), sat.MkLit(b, false))
+}
+
+// encodeOr emits y = a|b (or the negation): (¬y ∨ a ∨ b)(y ∨ ¬a)(y ∨ ¬b).
+func (u *unroller) encodeOr(y, a, b int, neg bool) {
+	s := u.s
+	s.AddClause(sat.MkLit(y, !neg), sat.MkLit(a, false), sat.MkLit(b, false))
+	s.AddClause(sat.MkLit(y, neg), sat.MkLit(a, true))
+	s.AddClause(sat.MkLit(y, neg), sat.MkLit(b, true))
+}
+
+// encodeXor emits y = a^b (or xnor when neg):
+// (¬y ∨ a ∨ b)(¬y ∨ ¬a ∨ ¬b)(y ∨ ¬a ∨ b)(y ∨ a ∨ ¬b).
+func (u *unroller) encodeXor(y, a, b int, neg bool) {
+	s := u.s
+	s.AddClause(sat.MkLit(y, !neg), sat.MkLit(a, false), sat.MkLit(b, false))
+	s.AddClause(sat.MkLit(y, !neg), sat.MkLit(a, true), sat.MkLit(b, true))
+	s.AddClause(sat.MkLit(y, neg), sat.MkLit(a, true), sat.MkLit(b, false))
+	s.AddClause(sat.MkLit(y, neg), sat.MkLit(a, false), sat.MkLit(b, true))
+}
+
+// encodeMux emits y = s ? b : a:
+// (¬s ∨ ¬b ∨ y)(¬s ∨ b ∨ ¬y)(s ∨ ¬a ∨ y)(s ∨ a ∨ ¬y).
+func (u *unroller) encodeMux(y, a, b, sel int) {
+	s := u.s
+	s.AddClause(sat.MkLit(sel, true), sat.MkLit(b, true), sat.MkLit(y, false))
+	s.AddClause(sat.MkLit(sel, true), sat.MkLit(b, false), sat.MkLit(y, true))
+	s.AddClause(sat.MkLit(sel, false), sat.MkLit(a, true), sat.MkLit(y, false))
+	s.AddClause(sat.MkLit(sel, false), sat.MkLit(a, false), sat.MkLit(y, true))
+}
+
+// validNets resolves the observability handshake: the original and
+// shadow-machine valid bits (equal when the handshake is outside the
+// fault cone), or NoNet when no ValidPort is configured.
+func (u *unroller) validNets(covers []fault.CoverPoint) (validOrig, validShadow netlist.NetID) {
+	validOrig, validShadow = netlist.NoNet, netlist.NoNet
+	if u.cfg.ValidPort == "" {
+		return
+	}
+	p, ok := u.nl.FindOutput(u.cfg.ValidPort)
+	if !ok || len(p.Bits) != 1 {
+		panic(fmt.Sprintf("bmc: ValidPort %q is not a 1-bit output", u.cfg.ValidPort))
+	}
+	validOrig, validShadow = p.Bits[0], p.Bits[0]
+	for _, cp := range covers {
+		if cp.Orig == validOrig {
+			validShadow = cp.Shadow
+		}
+	}
+	return
+}
+
+// solveCover adds the cover disjunction and solves.
+func (u *unroller) solveCover(covers []fault.CoverPoint) sat.Status {
+	validOrig, validShadow := u.validNets(covers)
+	var targets []sat.Lit
+	for t := 0; t < u.depth; t++ {
+		for _, cp := range covers {
+			d := u.s.NewVar()
+			u.encodeXor(d, u.vars[t][cp.Orig], u.vars[t][cp.Shadow], false)
+			if validOrig == netlist.NoNet || cp.Orig == validOrig {
+				targets = append(targets, sat.MkLit(d, false))
+				continue
+			}
+			// obs = d & valid_s
+			obs := u.s.NewVar()
+			u.encodeAnd(obs, d, u.vars[t][validShadow], false)
+			targets = append(targets, sat.MkLit(obs, false))
+		}
+	}
+	u.s.AddClause(targets...)
+	return u.s.Solve()
+}
+
+// extract reads the model back into a Trace.
+func (u *unroller) extract(covers []fault.CoverPoint) *Trace {
+	tr := &Trace{Cycles: u.depth, Inputs: make(map[string][]uint64), CoverCycle: -1}
+	for _, p := range u.nl.Inputs {
+		vals := make([]uint64, u.depth)
+		for t := 0; t < u.depth; t++ {
+			var v uint64
+			for i, n := range p.Bits {
+				if u.s.Value(u.vars[t][n]) {
+					v |= 1 << uint(i)
+				}
+			}
+			vals[t] = v
+		}
+		tr.Inputs[p.Name] = vals
+	}
+	validOrig, validShadow := u.validNets(covers)
+	for t := 0; t < u.depth && tr.CoverCycle == -1; t++ {
+		for _, cp := range covers {
+			if u.s.Value(u.vars[t][cp.Orig]) == u.s.Value(u.vars[t][cp.Shadow]) {
+				continue
+			}
+			if validOrig != netlist.NoNet && cp.Orig != validOrig && !u.s.Value(u.vars[t][validShadow]) {
+				continue // divergence the software never observes
+			}
+			tr.CoverCycle = t
+			tr.CoverPoint = cp
+			break
+		}
+	}
+	return tr
+}

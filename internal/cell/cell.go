@@ -1,0 +1,121 @@
+// Package cell defines the standard cell library used by every netlist in
+// this repository. It is the Go stand-in for the 28nm foundry library the
+// paper synthesizes into: each kind carries a logic function and nominal
+// timing data (min/max propagation delay, and setup/hold/clk-to-q for
+// flip-flops). The aging package perturbs these nominal delays as a
+// function of signal probability and lifetime.
+package cell
+
+import "fmt"
+
+// Kind identifies a standard cell type.
+type Kind uint8
+
+// The library. Combinational cells compute a single output from 0-3
+// inputs. DFF is the sole sequential element. CLKBUF and CLKGATE are
+// clock-network cells: they carry the clock-enable signal in functional
+// simulation and contribute delay (and aged skew) in timing analysis.
+const (
+	TIE0    Kind = iota // constant 0, no inputs
+	TIE1                // constant 1, no inputs
+	BUF                 // Y = A
+	INV                 // Y = !A
+	AND2                // Y = A & B
+	OR2                 // Y = A | B
+	NAND2               // Y = !(A & B)
+	NOR2                // Y = !(A | B)
+	XOR2                // Y = A ^ B
+	XNOR2               // Y = !(A ^ B)
+	MUX2                // Y = S ? B : A   (inputs A, B, S)
+	AOI21               // Y = !((A & B) | C)
+	OAI21               // Y = !((A | B) & C)
+	DFF                 // Q <= D on rising clock edge (when clock enabled)
+	CLKBUF              // clock buffer: passes the clock
+	CLKGATE             // gated clock: clock & enable (inputs CLK, EN)
+	numKinds
+)
+
+// NumKinds reports the number of cell kinds in the library.
+const NumKinds = int(numKinds)
+
+var names = [...]string{
+	TIE0: "TIE0", TIE1: "TIE1", BUF: "BUF", INV: "INV",
+	AND2: "AND2", OR2: "OR2", NAND2: "NAND2", NOR2: "NOR2",
+	XOR2: "XOR2", XNOR2: "XNOR2", MUX2: "MUX2",
+	AOI21: "AOI21", OAI21: "OAI21",
+	DFF: "DFF", CLKBUF: "CLKBUF", CLKGATE: "CLKGATE",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// NumInputs reports how many data inputs a cell of kind k has. For DFF
+// this counts only the D pin (the clock pin is tracked separately); for
+// CLKGATE it counts the enable pin (the clock pin is separate as well).
+func (k Kind) NumInputs() int {
+	switch k {
+	case TIE0, TIE1:
+		return 0
+	case BUF, INV, DFF, CLKBUF:
+		return 1
+	case AND2, OR2, NAND2, NOR2, XOR2, XNOR2, CLKGATE:
+		return 2
+	case MUX2, AOI21, OAI21:
+		return 3
+	}
+	panic("cell: unknown kind " + k.String())
+}
+
+// IsSequential reports whether k is a flip-flop.
+func (k Kind) IsSequential() bool { return k == DFF }
+
+// IsClock reports whether k is a clock-network cell.
+func (k Kind) IsClock() bool { return k == CLKBUF || k == CLKGATE }
+
+// IsCombinational reports whether k computes a pure function of its
+// inputs (everything except DFF and the clock cells).
+func (k Kind) IsCombinational() bool {
+	return !k.IsSequential() && !k.IsClock()
+}
+
+// Eval computes the cell's output for the given input values. The slice
+// length must equal NumInputs(). Sequential and clock cells are evaluated
+// by the simulator, not here; calling Eval on them panics.
+func (k Kind) Eval(in []bool) bool {
+	switch k {
+	case TIE0:
+		return false
+	case TIE1:
+		return true
+	case BUF:
+		return in[0]
+	case INV:
+		return !in[0]
+	case AND2:
+		return in[0] && in[1]
+	case OR2:
+		return in[0] || in[1]
+	case NAND2:
+		return !(in[0] && in[1])
+	case NOR2:
+		return !(in[0] || in[1])
+	case XOR2:
+		return in[0] != in[1]
+	case XNOR2:
+		return in[0] == in[1]
+	case MUX2:
+		if in[2] {
+			return in[1]
+		}
+		return in[0]
+	case AOI21:
+		return !((in[0] && in[1]) || in[2])
+	case OAI21:
+		return !((in[0] || in[1]) && in[2])
+	}
+	panic("cell: Eval on non-combinational kind " + k.String())
+}

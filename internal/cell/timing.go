@@ -1,0 +1,65 @@
+package cell
+
+// Timing holds the nominal (unaged, typical-corner) timing data of a cell
+// kind. All values are picoseconds.
+//
+// For combinational and clock cells only DelayMin/DelayMax are meaningful:
+// the propagation delay from any input pin to the output. For DFF cells
+// DelayMin/DelayMax are the clk-to-Q delay, and Setup/Hold are the
+// constraint windows around the capturing clock edge.
+type Timing struct {
+	DelayMin float64 // fastest input-to-output propagation (ps)
+	DelayMax float64 // slowest input-to-output propagation (ps)
+	Setup    float64 // DFF only: data must be stable this long before the edge
+	Hold     float64 // DFF only: data must hold this long after the edge
+}
+
+// Library is a full timing characterization of the cell library, the Go
+// equivalent of a .lib file at a fixed process/voltage/temperature corner.
+type Library struct {
+	Name   string
+	Timing [NumKinds]Timing
+}
+
+// Lib28 returns the default library used for the ALU/FPU experiments. The
+// values are calibrated to a generic 28nm process at the conservative
+// (slow/low-voltage/hot) corner that the paper's aging-aware STA assumes:
+// simple gates in the 15-40ps range, flip-flops with ~50ps clk-to-q.
+func Lib28() *Library {
+	l := &Library{Name: "generic28"}
+	set := func(k Kind, min, max float64) { l.Timing[k] = Timing{DelayMin: min, DelayMax: max} }
+	set(TIE0, 0, 0)
+	set(TIE1, 0, 0)
+	set(BUF, 12, 22)
+	set(INV, 8, 15)
+	set(AND2, 14, 26)
+	set(OR2, 14, 27)
+	set(NAND2, 10, 20)
+	set(NOR2, 11, 22)
+	set(XOR2, 18, 36)
+	set(XNOR2, 18, 37)
+	set(MUX2, 16, 32)
+	set(AOI21, 13, 25)
+	set(OAI21, 13, 26)
+	set(CLKBUF, 20, 28)
+	set(CLKGATE, 24, 34)
+	l.Timing[DFF] = Timing{DelayMin: 40, DelayMax: 62, Setup: 46, Hold: 30}
+	return l
+}
+
+// DemoLibrary returns the toy library used by the paper's Section 3
+// running example: AND/XOR/DFF cells with a 0.1ns minimum and 0.3ns
+// maximum delay, DFF setup 0.06ns and hold 0.03ns, at a 1GHz target.
+func DemoLibrary() *Library {
+	l := &Library{Name: "demo"}
+	for k := Kind(0); k < numKinds; k++ {
+		l.Timing[k] = Timing{DelayMin: 100, DelayMax: 300}
+	}
+	l.Timing[TIE0] = Timing{}
+	l.Timing[TIE1] = Timing{}
+	l.Timing[DFF] = Timing{DelayMin: 100, DelayMax: 300, Setup: 60, Hold: 30}
+	// Clock buffers in the demo are idealized.
+	l.Timing[CLKBUF] = Timing{DelayMin: 0, DelayMax: 0}
+	l.Timing[CLKGATE] = Timing{DelayMin: 0, DelayMax: 0}
+	return l
+}

@@ -1,0 +1,347 @@
+// Package core orchestrates the three-phase Vega workflow end to end:
+// representative-workload signal-probability profiling, aging-aware
+// static timing analysis, error lifting (failure-model instrumentation +
+// bounded model checking + instruction construction), and suite
+// assembly. The root vega package and the cmd/ binaries are thin shells
+// over this package.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/aging"
+	"repro/internal/alu"
+	"repro/internal/cell"
+	"repro/internal/cpu"
+	"repro/internal/embench"
+	"repro/internal/fpu"
+	"repro/internal/lift"
+	"repro/internal/module"
+	"repro/internal/sim"
+	"repro/internal/sta"
+)
+
+// MemSize is the simulated memory size used throughout the workflow.
+const MemSize = 1 << 20
+
+// MaxCycles bounds every workload run.
+const MaxCycles = 500_000_000
+
+// Config tunes a workflow run.
+type Config struct {
+	// Years is the assumed lifetime for the aging analysis (default 10,
+	// the mission-critical standard of §3.2.2).
+	Years float64
+	// SPBudgetCycles bounds the gate-level signal-probability
+	// simulation (default 20000 module cycles per unit).
+	SPBudgetCycles int
+	// MaxSampledOps bounds how many recorded operations are replayed at
+	// gate level (default 400).
+	MaxSampledOps int
+	// Workloads selects the representative benchmarks (default: all of
+	// embench).
+	Workloads []string
+	// Lift tunes the error-lifting phase.
+	Lift lift.Config
+}
+
+func (c *Config) fill() {
+	if c.Years == 0 {
+		c.Years = 10
+	}
+	if c.SPBudgetCycles == 0 {
+		c.SPBudgetCycles = 20000
+	}
+	if c.MaxSampledOps == 0 {
+		c.MaxSampledOps = 400
+	}
+}
+
+// Workflow carries the state of one unit's analysis.
+type Workflow struct {
+	Config Config
+	Module *module.Module
+	Lib    *cell.Library
+	Model  *aging.Model
+	Scale  float64
+
+	// Filled by ProfileWorkloads:
+	OpTrace    []cpu.OpRecord // sampled unit operations
+	OpDensity  float64        // unit ops per retired instruction
+	SPProfile  *sim.Profile
+	TotalInsts uint64
+
+	// Filled by AgingAnalysis:
+	STA *sta.Result
+
+	// Filled by ErrorLifting:
+	Results []lift.Result // all variants over all unique pairs
+}
+
+// NewALU creates a workflow for the ALU.
+func NewALU(cfg Config) *Workflow { return newWorkflow(alu.Build(), cfg) }
+
+// NewFPU creates a workflow for the FPU.
+func NewFPU(cfg Config) *Workflow { return newWorkflow(fpu.Build(), cfg) }
+
+func newWorkflow(m *module.Module, cfg Config) *Workflow {
+	cfg.fill()
+	lib := cell.Lib28()
+	return &Workflow{
+		Config: cfg,
+		Module: m,
+		Lib:    lib,
+		Model:  aging.Default(),
+		Scale:  sta.Calibrate(m.Netlist, lib, m.PeriodPs, m.SynthMargin),
+	}
+}
+
+// ProfileWorkloads runs the representative workloads on the behavioural
+// CPU, recording every operation offloaded to the unit, then replays a
+// sample of the trace through the synthesized netlist with
+// representative idle gaps to collect the signal-probability profile
+// (§3.2.1). The idle-to-active ratio is what exposes the gated clock
+// subtrees of a rarely-used unit to BTI stress.
+func (w *Workflow) ProfileWorkloads() error {
+	benches := embench.All
+	if len(w.Config.Workloads) > 0 {
+		benches = benches[:0:0]
+		for _, name := range w.Config.Workloads {
+			b, ok := embench.ByName(name)
+			if !ok {
+				return fmt.Errorf("core: unknown workload %q", name)
+			}
+			benches = append(benches, b)
+		}
+	}
+
+	var trace []cpu.OpRecord
+	var totalInsts uint64
+	for _, b := range benches {
+		c := cpu.New(MemSize)
+		recALU := &cpu.RecordingALU{}
+		recFPU := &cpu.RecordingFPU{}
+		c.ALU = recALU
+		c.FPU = recFPU
+		c.Load(b.Build())
+		if halt := c.Run(MaxCycles); halt != cpu.HaltExit || c.ExitCode != 0 {
+			return fmt.Errorf("core: workload %s failed (halt=%v exit=%d)", b.Name, halt, c.ExitCode)
+		}
+		totalInsts += c.Instret
+		if w.Module.Name == "ALU" {
+			trace = append(trace, recALU.Trace...)
+		} else {
+			trace = append(trace, recFPU.Trace...)
+		}
+	}
+	if len(trace) == 0 {
+		return fmt.Errorf("core: workloads issued no %s operations", w.Module.Name)
+	}
+	w.TotalInsts = totalInsts
+	w.OpDensity = float64(len(trace)) / float64(totalInsts)
+
+	// Sample ops evenly and derive the idle gap that preserves the
+	// unit's duty cycle, bounded by the simulation budget.
+	n := len(trace)
+	sampleN := w.Config.MaxSampledOps
+	if n < sampleN {
+		sampleN = n
+	}
+	sampled := make([]cpu.OpRecord, 0, sampleN)
+	for i := 0; i < sampleN; i++ {
+		sampled = append(sampled, trace[i*n/sampleN])
+	}
+	w.OpTrace = sampled
+
+	period := w.Module.Latency + 1
+	idealGap := int(1/w.OpDensity) - period
+	maxGap := (w.Config.SPBudgetCycles - sampleN*period) / sampleN
+	gap := idealGap
+	if gap > maxGap {
+		gap = maxGap
+	}
+	if gap < 0 {
+		gap = 0
+	}
+
+	d := module.NewDriver(w.Module)
+	d.Sim.EnableSP()
+	for _, op := range sampled {
+		d.Exec(op.Op, op.A, op.B)
+		d.Sim.SetInput(module.PortInValid, 0)
+		d.Sim.Run(gap)
+	}
+	w.SPProfile = d.Sim.Profile()
+	return nil
+}
+
+// AgingAnalysis runs the aging-aware STA (§3.2.2) over the SP profile.
+func (w *Workflow) AgingAnalysis() (*sta.Result, error) {
+	if w.SPProfile == nil {
+		if err := w.ProfileWorkloads(); err != nil {
+			return nil, err
+		}
+	}
+	lib := aging.NewLibrary(w.Lib, w.Model, w.Config.Years)
+	w.STA = sta.Analyze(w.Module.Netlist, sta.Config{
+		PeriodPs: w.Module.PeriodPs,
+		Scale:    w.Scale,
+		Aged:     lib,
+		Profile:  w.SPProfile,
+		// Signoff-style report bound: up to 40 worst paths per endpoint.
+		PerEndpoint: 40,
+	})
+	return w.STA, nil
+}
+
+// FreshAnalysis runs the nominal (unaged) STA for signoff comparison.
+func (w *Workflow) FreshAnalysis() *sta.Result {
+	return sta.Analyze(w.Module.Netlist, sta.Config{
+		PeriodPs: w.Module.PeriodPs,
+		Scale:    w.Scale,
+		Base:     w.Lib,
+	})
+}
+
+// ErrorLifting runs failure-model instrumentation, trace generation and
+// instruction construction for every unique aging-prone pair (§3.3).
+func (w *Workflow) ErrorLifting() ([]lift.Result, error) {
+	if w.STA == nil {
+		if _, err := w.AgingAnalysis(); err != nil {
+			return nil, err
+		}
+	}
+	var all []lift.Result
+	for _, p := range w.STA.Pairs {
+		all = append(all, lift.Construct(w.Module, p.Pair, p.Type, w.Config.Lift)...)
+	}
+	w.Results = all
+	return all, nil
+}
+
+// Suite assembles every successfully constructed test case, in pair
+// order.
+func (w *Workflow) Suite() *lift.Suite {
+	s := &lift.Suite{Unit: w.Module.Name}
+	for _, r := range w.Results {
+		if r.Outcome == lift.Success {
+			s.Cases = append(s.Cases, r.Case)
+		}
+	}
+	return s
+}
+
+// SuiteCycles measures the cycle cost of running the whole suite once on
+// the (healthy, behavioural) CPU — the paper's Table 5 metric.
+func SuiteCycles(s *lift.Suite) (uint64, error) {
+	if len(s.Cases) == 0 {
+		return 0, nil
+	}
+	c := cpu.New(MemSize)
+	c.Load(s.Image())
+	if halt := c.Run(MaxCycles); halt != cpu.HaltExit || c.ExitCode != 0 {
+		return 0, fmt.Errorf("core: suite failed on healthy CPU (halt=%v exit=%d case=%d)",
+			halt, c.ExitCode, c.X[9])
+	}
+	return c.Cycles, nil
+}
+
+// MergeSuites concatenates per-unit suites into one integration payload.
+func MergeSuites(suites ...*lift.Suite) *lift.Suite {
+	out := &lift.Suite{Unit: "ALL"}
+	for _, s := range suites {
+		out.Cases = append(out.Cases, s.Cases...)
+	}
+	return out
+}
+
+// OnsetPoint is one sample of a lifetime sweep.
+type OnsetPoint struct {
+	Years           float64
+	WNSSetup        float64
+	WNSHold         float64
+	SetupViolations int
+	HoldViolations  int
+}
+
+// LifetimeSweep re-runs the aging-aware STA across a range of assumed
+// lifetimes, answering the deployment question behind the paper's
+// motivation (§2.1): *when* does this unit start violating timing? The
+// SP profile is collected once and reused.
+func (w *Workflow) LifetimeSweep(years []float64) ([]OnsetPoint, error) {
+	if w.SPProfile == nil {
+		if err := w.ProfileWorkloads(); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]OnsetPoint, 0, len(years))
+	for _, yr := range years {
+		var res *sta.Result
+		if yr <= 0 {
+			res = w.FreshAnalysis()
+		} else {
+			lib := aging.NewLibrary(w.Lib, w.Model, yr)
+			res = sta.Analyze(w.Module.Netlist, sta.Config{
+				PeriodPs:    w.Module.PeriodPs,
+				Scale:       w.Scale,
+				Aged:        lib,
+				Profile:     w.SPProfile,
+				PerEndpoint: 40,
+			})
+		}
+		out = append(out, OnsetPoint{
+			Years:           yr,
+			WNSSetup:        res.WNSSetup,
+			WNSHold:         res.WNSHold,
+			SetupViolations: res.NumSetupViolations,
+			HoldViolations:  res.NumHoldViolations,
+		})
+	}
+	return out, nil
+}
+
+// FailureOnsetYears returns the first swept lifetime with any violation,
+// or -1 if the unit survives the whole sweep.
+func FailureOnsetYears(points []OnsetPoint) float64 {
+	for _, p := range points {
+		if p.SetupViolations > 0 || p.HoldViolations > 0 {
+			return p.Years
+		}
+	}
+	return -1
+}
+
+// TempPoint is one sample of a temperature sweep.
+type TempPoint struct {
+	TempC           float64
+	WNSSetup        float64
+	SetupViolations int
+}
+
+// TemperatureSweep re-runs the 10-year aging-aware STA across operating
+// temperatures — the §6.2 environmental-noise question: how much of the
+// violation census survives at cooler corners? Aging accelerates with
+// temperature (Arrhenius), so the signoff-corner analysis is the
+// conservative envelope.
+func (w *Workflow) TemperatureSweep(tempsC []float64) ([]TempPoint, error) {
+	if w.SPProfile == nil {
+		if err := w.ProfileWorkloads(); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]TempPoint, 0, len(tempsC))
+	for _, tc := range tempsC {
+		model := *w.Model
+		model.TempK = tc + 273.15
+		lib := aging.NewLibrary(w.Lib, &model, w.Config.Years)
+		res := sta.Analyze(w.Module.Netlist, sta.Config{
+			PeriodPs:    w.Module.PeriodPs,
+			Scale:       w.Scale,
+			Aged:        lib,
+			Profile:     w.SPProfile,
+			PerEndpoint: 40,
+		})
+		out = append(out, TempPoint{TempC: tc, WNSSetup: res.WNSSetup, SetupViolations: res.NumSetupViolations})
+	}
+	return out, nil
+}

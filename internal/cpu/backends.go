@@ -1,0 +1,81 @@
+package cpu
+
+import (
+	"repro/internal/alu"
+	"repro/internal/fpu"
+	"repro/internal/module"
+	"repro/internal/netlist"
+)
+
+// NetlistALU executes ALU operations on a gate-level netlist through the
+// module handshake — either the healthy synthesized unit or a failing
+// netlist produced by failure-model instrumentation.
+type NetlistALU struct {
+	d *module.Driver
+}
+
+// NewNetlistALU wires the given netlist (sharing m's port protocol) as
+// the CPU's ALU.
+func NewNetlistALU(m *module.Module, nl *netlist.Netlist) *NetlistALU {
+	return &NetlistALU{d: module.NewDriverOn(m, nl)}
+}
+
+// ExecALU implements ALUBackend.
+func (n *NetlistALU) ExecALU(op alu.Op, a, b uint32) (uint32, uint32, bool) {
+	return n.d.Exec(uint32(op), a, b)
+}
+
+// NetlistFPU executes FPU operations on a gate-level netlist.
+type NetlistFPU struct {
+	d *module.Driver
+}
+
+// NewNetlistFPU wires the given netlist as the CPU's FPU.
+func NewNetlistFPU(m *module.Module, nl *netlist.Netlist) *NetlistFPU {
+	return &NetlistFPU{d: module.NewDriverOn(m, nl)}
+}
+
+// ExecFPU implements FPUBackend.
+func (n *NetlistFPU) ExecFPU(op fpu.Op, a, b uint32) (uint32, uint32, bool) {
+	return n.d.Exec(uint32(op), a, b)
+}
+
+// OpRecord is one execution-unit operation observed during a workload
+// run; recorded traces are replayed through the gate-level module during
+// Signal Probability Simulation.
+type OpRecord struct {
+	Op   uint32
+	A, B uint32
+}
+
+// RecordingALU wraps a backend (or the golden model when inner is nil)
+// and records every operation.
+type RecordingALU struct {
+	Inner ALUBackend
+	Trace []OpRecord
+}
+
+// ExecALU implements ALUBackend.
+func (r *RecordingALU) ExecALU(op alu.Op, a, b uint32) (uint32, uint32, bool) {
+	r.Trace = append(r.Trace, OpRecord{uint32(op), a, b})
+	if r.Inner == nil {
+		return alu.Eval(op, a, b), alu.Flags(a, b), true
+	}
+	return r.Inner.ExecALU(op, a, b)
+}
+
+// RecordingFPU wraps an FPU backend and records every operation.
+type RecordingFPU struct {
+	Inner FPUBackend
+	Trace []OpRecord
+}
+
+// ExecFPU implements FPUBackend.
+func (r *RecordingFPU) ExecFPU(op fpu.Op, a, b uint32) (uint32, uint32, bool) {
+	r.Trace = append(r.Trace, OpRecord{uint32(op), a, b})
+	if r.Inner == nil {
+		res, f := fpu.Eval(op, a, b)
+		return res, f, true
+	}
+	return r.Inner.ExecFPU(op, a, b)
+}

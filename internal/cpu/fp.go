@@ -1,0 +1,102 @@
+package cpu
+
+import (
+	"math"
+
+	"repro/internal/fpu"
+)
+
+// fdiv implements FDIV.S behaviourally (the divider is a separate
+// iterative unit outside the analyzed FPU datapath). Go's float32
+// division is correctly rounded; flags follow RISC-V semantics.
+func fdiv(a, b uint32) (uint32, uint32) {
+	fa := math.Float32frombits(a)
+	fb := math.Float32frombits(b)
+	var flags uint32
+	isNaN := func(x uint32) bool { return x&0x7fffffff > 0x7f800000 }
+	isSNaN := func(x uint32) bool { return isNaN(x) && x&0x400000 == 0 }
+	isInf := func(x uint32) bool { return x&0x7fffffff == 0x7f800000 }
+	isZero := func(x uint32) bool { return x&0x7fffffff == 0 }
+	if isSNaN(a) || isSNaN(b) {
+		flags |= fpu.FlagNV
+	}
+	switch {
+	case isNaN(a) || isNaN(b):
+		return fpu.QNaN, flags
+	case isZero(a) && isZero(b), isInf(a) && isInf(b):
+		return fpu.QNaN, flags | fpu.FlagNV
+	case isZero(b):
+		flags |= fpu.FlagDZ
+	}
+	r := fa / fb
+	bits := math.Float32bits(r)
+	if bits&0x7fffffff > 0x7f800000 {
+		bits = fpu.QNaN
+	}
+	// Inexact detection: exact iff r*b == a with no rounding. A float64
+	// check suffices for binary32 operands.
+	if !isZero(b) && !isInf(a) && !isInf(b) {
+		if float64(r)*float64(fb) != float64(fa) {
+			flags |= fpu.FlagNX
+		}
+		if r != 0 && math.Abs(float64(r)) < math.Ldexp(1, -126) {
+			flags |= fpu.FlagUF
+		}
+		if math.IsInf(float64(r), 0) {
+			flags |= fpu.FlagOF | fpu.FlagNX
+		}
+	}
+	return bits, flags
+}
+
+// fcvtToInt implements FCVT.W.S / FCVT.WU.S with RNE rounding and RISC-V
+// clamping semantics.
+func fcvtToInt(a uint32, unsigned bool) (uint32, uint32) {
+	f := float64(math.Float32frombits(a))
+	if math.IsNaN(f) {
+		if unsigned {
+			return 0xffffffff, fpu.FlagNV
+		}
+		return 0x7fffffff, fpu.FlagNV
+	}
+	r := math.RoundToEven(f)
+	var flags uint32
+	if r != f {
+		flags = fpu.FlagNX
+	}
+	if unsigned {
+		switch {
+		case r < 0:
+			return 0, fpu.FlagNV
+		case r > float64(math.MaxUint32):
+			return 0xffffffff, fpu.FlagNV
+		}
+		return uint32(r), flags
+	}
+	switch {
+	case r < math.MinInt32:
+		return 0x80000000, fpu.FlagNV
+	case r > math.MaxInt32:
+		return 0x7fffffff, fpu.FlagNV
+	}
+	return uint32(int32(r)), flags
+}
+
+// fcvtFromInt implements FCVT.S.W / FCVT.S.WU.
+func fcvtFromInt(v uint32, unsigned bool) (uint32, uint32) {
+	var f float32
+	var exact bool
+	if unsigned {
+		f = float32(v) // Go converts with RNE
+		exact = float64(f) == float64(v)
+	} else {
+		iv := int32(v)
+		f = float32(iv)
+		exact = float64(f) == float64(iv)
+	}
+	var flags uint32
+	if !exact {
+		flags = fpu.FlagNX
+	}
+	return math.Float32bits(f), flags
+}

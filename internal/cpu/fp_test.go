@@ -1,0 +1,98 @@
+package cpu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fpu"
+)
+
+func TestFdivAgainstGo(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for i := 0; i < 100000; i++ {
+		a, b := rng.Uint32(), rng.Uint32()
+		got, _ := fdiv(a, b)
+		r := math.Float32frombits(a) / math.Float32frombits(b)
+		want := math.Float32bits(r)
+		if want&0x7fffffff > 0x7f800000 {
+			want = fpu.QNaN
+		}
+		if got != want {
+			t.Fatalf("fdiv(%08x, %08x) = %08x, want %08x", a, b, got, want)
+		}
+	}
+}
+
+func TestFdivFlags(t *testing.T) {
+	// 1/0: divide-by-zero.
+	if _, f := fdiv(0x3f800000, 0); f&fpu.FlagDZ == 0 {
+		t.Error("1/0 should raise DZ")
+	}
+	// 0/0: invalid.
+	if r, f := fdiv(0, 0); r != fpu.QNaN || f&fpu.FlagNV == 0 {
+		t.Error("0/0 should be NaN with NV")
+	}
+	// inf/inf: invalid.
+	if _, f := fdiv(0x7f800000, 0x7f800000); f&fpu.FlagNV == 0 {
+		t.Error("inf/inf should raise NV")
+	}
+	// 1/3: inexact.
+	if _, f := fdiv(0x3f800000, 0x40400000); f&fpu.FlagNX == 0 {
+		t.Error("1/3 should be inexact")
+	}
+	// 1/2: exact.
+	if _, f := fdiv(0x3f800000, 0x40000000); f&fpu.FlagNX != 0 {
+		t.Error("1/2 should be exact")
+	}
+}
+
+func TestFcvtToIntSemantics(t *testing.T) {
+	cases := []struct {
+		bits     uint32
+		unsigned bool
+		want     uint32
+		nv       bool
+	}{
+		{math.Float32bits(7.5), false, 8, false}, // RNE
+		{math.Float32bits(6.5), false, 6, false}, // ties to even
+		{math.Float32bits(-7.5), false, 0xfffffff8, false},
+		{math.Float32bits(-1), true, 0, true}, // negative to unsigned
+		{0x7fc00000, false, 0x7fffffff, true}, // NaN
+		{0x7f800000, false, 0x7fffffff, true}, // +inf clamps
+		{0xff800000, false, 0x80000000, true}, // -inf clamps
+		{math.Float32bits(3e9), false, 0x7fffffff, true},
+		{math.Float32bits(3e9), true, 3000000000, false},
+	}
+	for _, c := range cases {
+		got, f := fcvtToInt(c.bits, c.unsigned)
+		if got != c.want {
+			t.Errorf("fcvt(%08x,u=%v) = %d, want %d", c.bits, c.unsigned, got, c.want)
+		}
+		if (f&fpu.FlagNV != 0) != c.nv {
+			t.Errorf("fcvt(%08x,u=%v) NV = %v, want %v", c.bits, c.unsigned, f&fpu.FlagNV != 0, c.nv)
+		}
+	}
+}
+
+func TestFcvtFromIntAgainstGo(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for i := 0; i < 100000; i++ {
+		v := rng.Uint32()
+		got, _ := fcvtFromInt(v, true)
+		if got != math.Float32bits(float32(v)) {
+			t.Fatalf("fcvt.s.wu(%d) = %08x", v, got)
+		}
+		got, _ = fcvtFromInt(v, false)
+		if got != math.Float32bits(float32(int32(v))) {
+			t.Fatalf("fcvt.s.w(%d) = %08x", int32(v), got)
+		}
+	}
+	// Exactness flag: 2^24+1 is inexact, 2^24 exact.
+	if _, f := fcvtFromInt(1<<24+1, true); f&fpu.FlagNX == 0 {
+		t.Error("2^24+1 conversion should be inexact")
+	}
+	if _, f := fcvtFromInt(1<<24, true); f&fpu.FlagNX != 0 {
+		t.Error("2^24 conversion should be exact")
+	}
+}

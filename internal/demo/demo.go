@@ -1,0 +1,56 @@
+// Package demo builds the running example of the paper's Section 3: a
+// pipelined 2-bit adder (Listing 1) synthesized into the minimal AND/XOR/
+// DFF netlist of Figure 3. It is used by the quickstart example and as a
+// small, hand-checkable fixture throughout the test suite.
+package demo
+
+import (
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// Adder2 returns the Figure 3 netlist. Cell numbering matches the paper:
+//
+//	DFF$1..$4  sample a[0], b[0], a[1], b[1] into aq/bq
+//	XOR$5      = aq[0] ^ bq[0]        (sum bit 0)
+//	AND$6      = aq[0] & bq[0]        (carry into bit 1)
+//	XOR$7      = aq[1] ^ bq[1]
+//	XOR$8      = XOR$7 ^ AND$6        (sum bit 1)
+//	DFF$9/$10  register o[0] / o[1]
+//
+// The paper's aging-prone setup path is $4 -> $7 -> $8 -> $10 and the
+// hold-violating path is $1 -> $5 -> $9.
+func Adder2() *netlist.Netlist {
+	b := netlist.NewBuilder("adder")
+	clk := b.Clock("clk")
+	a := b.InputBus("a", 2)
+	bb := b.InputBus("b", 2)
+
+	aq0 := b.AddDFFNamed("DFF$1", a[0], clk, false)
+	bq0 := b.AddDFFNamed("DFF$2", bb[0], clk, false)
+	aq1 := b.AddDFFNamed("DFF$3", a[1], clk, false)
+	bq1 := b.AddDFFNamed("DFF$4", bb[1], clk, false)
+
+	s0 := b.AddNamed(cell.XOR2, "XOR$5", aq0, bq0)
+	c0 := b.AddNamed(cell.AND2, "AND$6", aq0, bq0)
+	x1 := b.AddNamed(cell.XOR2, "XOR$7", aq1, bq1)
+	s1 := b.AddNamed(cell.XOR2, "XOR$8", x1, c0)
+
+	o0 := b.AddDFFNamed("DFF$9", s0, clk, false)
+	o1 := b.AddDFFNamed("DFF$10", s1, clk, false)
+
+	b.OutputBus("o", netlist.Bus{o0, o1})
+	return b.MustBuild()
+}
+
+// CellIDByName returns the CellID of the named cell, panicking if absent.
+// Convenience for tests and the quickstart, which refer to the paper's
+// $-numbered instances.
+func CellIDByName(nl *netlist.Netlist, name string) netlist.CellID {
+	for i, c := range nl.Cells {
+		if c.Name == name {
+			return netlist.CellID(i)
+		}
+	}
+	panic("demo: no cell named " + name)
+}

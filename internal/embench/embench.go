@@ -1,0 +1,826 @@
+// Package embench provides an embench-iot-style workload suite for the
+// simulated CPU: small, self-checking kernels covering the mix the real
+// benchmark set exercises — integer arithmetic, bit manipulation, memory
+// traversal, state machines, and floating point. They serve as the
+// representative workloads for Signal Probability Simulation (§3.2.1)
+// and as the applications instrumented in the overhead evaluation
+// (Figure 9).
+//
+// Every program self-checks: it computes a result, compares it against
+// the expected value (computed by the generator in Go with the same
+// algorithm), and exits 0 on success and 1 on mismatch.
+package embench
+
+import "repro/internal/isa"
+
+// Benchmark is one workload.
+type Benchmark struct {
+	Name    string
+	UsesFPU bool
+	Build   func() *isa.Image
+}
+
+// All lists the suite in a stable order.
+var All = []Benchmark{
+	{Name: "crc32", Build: crc32Bench},
+	{Name: "matmult-int", Build: matmultBench},
+	{Name: "minver", UsesFPU: true, Build: minverBench},
+	{Name: "edn", Build: ednBench},
+	{Name: "primecount", Build: primeBench},
+	{Name: "ud", Build: udBench},
+	{Name: "st", UsesFPU: true, Build: stBench},
+	{Name: "nbody", UsesFPU: true, Build: nbodyBench},
+	{Name: "fir", Build: firBench},
+	{Name: "huffbench", Build: huffBench},
+	{Name: "statemate", Build: statemateBench},
+	{Name: "slre", Build: slreBench},
+	{Name: "tarfind", Build: tarfindBench},
+	{Name: "qrduino", Build: qrduinoBench},
+}
+
+// ByName returns the named benchmark.
+func ByName(name string) (Benchmark, bool) {
+	for _, b := range All {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// beginRepeat/endRepeat wrap a kernel in the embench-style outer harness
+// loop: k timed iterations of the (idempotent) kernel body. The outer
+// block is exactly the "routinely but not frequently executed" site the
+// profile-guided integration looks for.
+func beginRepeat(a *isa.Asm, k uint32) {
+	a.Li(isa.S9, k)
+	a.Label("vega_outer")
+}
+
+func endRepeat(a *isa.Asm) {
+	a.Addi(isa.S9, isa.S9, -1)
+	a.Bnez(isa.S9, "vega_outer")
+}
+
+// exitCheck emits the standard epilogue: compare a0 against want; exit 0
+// on match, 1 otherwise.
+func exitCheck(a *isa.Asm, want uint32) {
+	a.Li(isa.T0, want)
+	a.Beq(isa.A0, isa.T0, "bench_pass")
+	a.Li(isa.A0, 1)
+	a.Ecall()
+	a.Label("bench_pass")
+	a.Li(isa.A0, 0)
+	a.Ecall()
+}
+
+// --- crc32: bitwise CRC-32 (poly 0xEDB88320) over a pseudo-random
+// buffer.
+
+func crcData(n int) []byte {
+	buf := make([]byte, n)
+	x := uint32(0x12345678)
+	for i := range buf {
+		x = x*1664525 + 1013904223
+		buf[i] = byte(x >> 24)
+	}
+	return buf
+}
+
+func crc32Ref(buf []byte) uint32 {
+	crc := ^uint32(0)
+	for _, b := range buf {
+		crc ^= uint32(b)
+		for k := 0; k < 8; k++ {
+			if crc&1 != 0 {
+				crc = crc>>1 ^ 0xEDB88320
+			} else {
+				crc >>= 1
+			}
+		}
+	}
+	return ^crc
+}
+
+func crc32Bench() *isa.Image {
+	const n = 1024
+	buf := crcData(n)
+	a := isa.NewAsm()
+	a.Bytes("buf", buf)
+	a.La(isa.S0, "buf")
+	beginRepeat(a, 8)
+	a.Li(isa.S2, n)
+	a.Li(isa.A0, 0xffffffff) // crc
+	a.Li(isa.S3, 0xEDB88320)
+	a.Li(isa.S4, 0) // i
+	a.Label("byte_loop")
+	a.Add(isa.T1, isa.S0, isa.S4)
+	a.Lbu(isa.T1, 0, isa.T1)
+	a.Xor(isa.A0, isa.A0, isa.T1)
+	a.Li(isa.T2, 8) // k
+	a.Label("bit_loop")
+	a.Andi(isa.T3, isa.A0, 1)
+	a.Srli(isa.A0, isa.A0, 1)
+	a.Beqz(isa.T3, "no_poly")
+	a.Xor(isa.A0, isa.A0, isa.S3)
+	a.Label("no_poly")
+	a.Addi(isa.T2, isa.T2, -1)
+	a.Bnez(isa.T2, "bit_loop")
+	a.Addi(isa.S4, isa.S4, 1)
+	a.Bne(isa.S4, isa.S2, "byte_loop")
+	a.Xori(isa.A0, isa.A0, -1)
+	endRepeat(a)
+	exitCheck(a, crc32Ref(buf))
+	return a.MustAssemble()
+}
+
+// --- matmult-int: C = A*B for 8x8 int32 matrices, FNV-style checksum.
+
+func matmultBench() *isa.Image {
+	const n = 8
+	var A, B [n * n]uint32
+	x := uint32(7)
+	for i := range A {
+		x = x*48271 + 1
+		A[i] = x % 64
+		x = x*48271 + 1
+		B[i] = x % 64
+	}
+	// Reference.
+	var sum uint32
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var acc uint32
+			for k := 0; k < n; k++ {
+				acc += A[i*n+k] * B[k*n+j]
+			}
+			sum = sum*31 + acc
+		}
+	}
+
+	a := isa.NewAsm()
+	a.Word("ma", A[:]...)
+	a.Word("mb", B[:]...)
+	a.La(isa.S0, "ma")
+	a.La(isa.S1, "mb")
+	beginRepeat(a, 16)
+	a.Li(isa.A0, 0) // checksum
+	a.Li(isa.S2, 0) // i
+	a.Label("i_loop")
+	a.Li(isa.S3, 0) // j
+	a.Label("j_loop")
+	a.Li(isa.S4, 0) // k
+	a.Li(isa.S5, 0) // acc
+	a.Label("k_loop")
+	// A[i*n+k]
+	a.Slli(isa.T0, isa.S2, 3)
+	a.Add(isa.T0, isa.T0, isa.S4)
+	a.Slli(isa.T0, isa.T0, 2)
+	a.Add(isa.T0, isa.T0, isa.S0)
+	a.Lw(isa.T0, 0, isa.T0)
+	// B[k*n+j]
+	a.Slli(isa.T1, isa.S4, 3)
+	a.Add(isa.T1, isa.T1, isa.S3)
+	a.Slli(isa.T1, isa.T1, 2)
+	a.Add(isa.T1, isa.T1, isa.S1)
+	a.Lw(isa.T1, 0, isa.T1)
+	a.Mul(isa.T2, isa.T0, isa.T1)
+	a.Add(isa.S5, isa.S5, isa.T2)
+	a.Addi(isa.S4, isa.S4, 1)
+	a.Li(isa.T3, n)
+	a.Bne(isa.S4, isa.T3, "k_loop")
+	// sum = sum*31 + acc
+	a.Li(isa.T3, 31)
+	a.Mul(isa.A0, isa.A0, isa.T3)
+	a.Add(isa.A0, isa.A0, isa.S5)
+	a.Addi(isa.S3, isa.S3, 1)
+	a.Li(isa.T3, n)
+	a.Bne(isa.S3, isa.T3, "j_loop")
+	a.Addi(isa.S2, isa.S2, 1)
+	a.Li(isa.T3, n)
+	a.Bne(isa.S2, isa.T3, "i_loop")
+	endRepeat(a)
+	exitCheck(a, sum)
+	return a.MustAssemble()
+}
+
+// --- primecount: sieve of Eratosthenes, count primes below N.
+
+func primeBench() *isa.Image {
+	const n = 1200
+	sieve := make([]bool, n)
+	count := uint32(0)
+	for i := 2; i < n; i++ {
+		if !sieve[i] {
+			count++
+			for j := i * i; j < n; j += i {
+				sieve[j] = true
+			}
+		}
+	}
+
+	a := isa.NewAsm()
+	a.Space("sieve", n)
+	a.La(isa.S0, "sieve")
+	beginRepeat(a, 16)
+	a.Li(isa.A0, 0) // count
+	a.Li(isa.S2, 2) // i
+	a.Li(isa.S3, n)
+	a.Label("i_loop")
+	a.Add(isa.T0, isa.S0, isa.S2)
+	a.Lbu(isa.T0, 0, isa.T0)
+	a.Bnez(isa.T0, "next_i")
+	a.Addi(isa.A0, isa.A0, 1)
+	a.Mul(isa.T1, isa.S2, isa.S2) // j = i*i
+	a.Bge(isa.T1, isa.S3, "next_i")
+	a.Li(isa.T2, 1)
+	a.Label("j_loop")
+	a.Add(isa.T3, isa.S0, isa.T1)
+	a.Sb(isa.T2, 0, isa.T3)
+	a.Add(isa.T1, isa.T1, isa.S2)
+	a.Blt(isa.T1, isa.S3, "j_loop")
+	a.Label("next_i")
+	a.Addi(isa.S2, isa.S2, 1)
+	a.Bne(isa.S2, isa.S3, "i_loop")
+	endRepeat(a)
+	exitCheck(a, count)
+	return a.MustAssemble()
+}
+
+// --- fir: integer FIR filter, 16 taps over 200 samples.
+
+func firBench() *isa.Image {
+	const taps = 16
+	const samples = 400
+	coef := make([]uint32, taps)
+	in := make([]uint32, samples)
+	x := uint32(3)
+	for i := range coef {
+		x = x*134775813 + 1
+		coef[i] = x % 32
+	}
+	for i := range in {
+		x = x*134775813 + 1
+		in[i] = x % 256
+	}
+	var sum uint32
+	for i := taps; i < samples; i++ {
+		var acc uint32
+		for k := 0; k < taps; k++ {
+			acc += coef[k] * in[i-k]
+		}
+		sum ^= acc + uint32(i)
+	}
+
+	a := isa.NewAsm()
+	a.Word("coef", coef...)
+	a.Word("input", in...)
+	a.La(isa.S0, "coef")
+	a.La(isa.S1, "input")
+	beginRepeat(a, 4)
+	a.Li(isa.A0, 0)
+	a.Li(isa.S2, taps) // i
+	a.Label("i_loop")
+	a.Li(isa.S4, 0) // k
+	a.Li(isa.S5, 0) // acc
+	a.Label("k_loop")
+	a.Slli(isa.T0, isa.S4, 2)
+	a.Add(isa.T0, isa.T0, isa.S0)
+	a.Lw(isa.T0, 0, isa.T0) // coef[k]
+	a.Sub(isa.T1, isa.S2, isa.S4)
+	a.Slli(isa.T1, isa.T1, 2)
+	a.Add(isa.T1, isa.T1, isa.S1)
+	a.Lw(isa.T1, 0, isa.T1) // in[i-k]
+	a.Mul(isa.T2, isa.T0, isa.T1)
+	a.Add(isa.S5, isa.S5, isa.T2)
+	a.Addi(isa.S4, isa.S4, 1)
+	a.Li(isa.T3, taps)
+	a.Bne(isa.S4, isa.T3, "k_loop")
+	a.Add(isa.T0, isa.S5, isa.S2)
+	a.Xor(isa.A0, isa.A0, isa.T0)
+	a.Addi(isa.S2, isa.S2, 1)
+	a.Li(isa.T3, samples)
+	a.Bne(isa.S2, isa.T3, "i_loop")
+	endRepeat(a)
+	exitCheck(a, sum)
+	return a.MustAssemble()
+}
+
+// --- edn: vector "energy detection" kernel: dot products with shifts
+// and saturation-style clamping.
+
+func ednBench() *isa.Image {
+	const n = 512
+	va := make([]uint32, n)
+	vb := make([]uint32, n)
+	x := uint32(0xbeef)
+	for i := range va {
+		x = x*22695477 + 1
+		va[i] = x >> 16 & 0x7fff
+		x = x*22695477 + 1
+		vb[i] = x >> 16 & 0x7fff
+	}
+	var acc uint32
+	for i := 0; i < n; i++ {
+		p := va[i] * vb[i]
+		p = p >> 3
+		if p > 0xffff {
+			p = 0xffff
+		}
+		acc = acc<<1 | acc>>31
+		acc ^= p
+	}
+
+	a := isa.NewAsm()
+	a.Word("va", va...)
+	a.Word("vb", vb...)
+	a.La(isa.S0, "va")
+	a.La(isa.S1, "vb")
+	beginRepeat(a, 16)
+	a.Li(isa.A0, 0)
+	a.Li(isa.S2, 0)
+	a.Li(isa.S3, 0xffff)
+	a.Label("loop")
+	a.Slli(isa.T0, isa.S2, 2)
+	a.Add(isa.T1, isa.T0, isa.S0)
+	a.Lw(isa.T1, 0, isa.T1)
+	a.Add(isa.T2, isa.T0, isa.S1)
+	a.Lw(isa.T2, 0, isa.T2)
+	a.Mul(isa.T3, isa.T1, isa.T2)
+	a.Srli(isa.T3, isa.T3, 3)
+	a.Bltu(isa.T3, isa.S3, "no_clamp")
+	a.Mv(isa.T3, isa.S3)
+	a.Label("no_clamp")
+	a.Slli(isa.T4, isa.A0, 1)
+	a.Srli(isa.T5, isa.A0, 31)
+	a.Or(isa.A0, isa.T4, isa.T5)
+	a.Xor(isa.A0, isa.A0, isa.T3)
+	a.Addi(isa.S2, isa.S2, 1)
+	a.Li(isa.T6, n)
+	a.Bne(isa.S2, isa.T6, "loop")
+	endRepeat(a)
+	exitCheck(a, acc)
+	return a.MustAssemble()
+}
+
+// --- ud: integer LU-style elimination on a small matrix with exact
+// divisions, checksum of the residue.
+
+func udBench() *isa.Image {
+	const n = 6
+	var m [n][n]int64
+	x := uint32(17)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			x = x*69069 + 1
+			m[i][j] = int64(x%19) + 1
+			if i == j {
+				m[i][j] += 40
+			}
+		}
+	}
+	ref := func() uint32 {
+		w := m
+		for k := 0; k < n-1; k++ {
+			for i := k + 1; i < n; i++ {
+				f := w[i][k] / w[k][k]
+				for j := k; j < n; j++ {
+					w[i][j] -= f * w[k][j]
+				}
+			}
+		}
+		var s uint32
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				s = s*131 + uint32(int32(w[i][j]))
+			}
+		}
+		return s
+	}()
+
+	flat := make([]uint32, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			flat[i*n+j] = uint32(int32(m[i][j]))
+		}
+	}
+	a := isa.NewAsm()
+	a.Word("mat", flat...)
+	a.La(isa.S0, "mat")
+	beginRepeat(a, 32)
+	idx := func(dst, row, col isa.Reg) { // dst = &mat[row*n+col]
+		a.Li(isa.T6, n)
+		a.Mul(dst, row, isa.T6)
+		a.Add(dst, dst, col)
+		a.Slli(dst, dst, 2)
+		a.Add(dst, dst, isa.S0)
+	}
+	a.Li(isa.S2, 0) // k
+	a.Label("k_loop")
+	a.Addi(isa.S3, isa.S2, 1) // i
+	a.Label("i_loop")
+	idx(isa.T0, isa.S3, isa.S2)
+	a.Lw(isa.T1, 0, isa.T0) // m[i][k]
+	idx(isa.T0, isa.S2, isa.S2)
+	a.Lw(isa.T2, 0, isa.T0) // m[k][k]
+	a.Div(isa.S4, isa.T1, isa.T2)
+	a.Mv(isa.S5, isa.S2) // j
+	a.Label("j_loop")
+	idx(isa.T0, isa.S2, isa.S5)
+	a.Lw(isa.T1, 0, isa.T0) // m[k][j]
+	a.Mul(isa.T1, isa.T1, isa.S4)
+	idx(isa.T0, isa.S3, isa.S5)
+	a.Lw(isa.T2, 0, isa.T0)
+	a.Sub(isa.T2, isa.T2, isa.T1)
+	a.Sw(isa.T2, 0, isa.T0)
+	a.Addi(isa.S5, isa.S5, 1)
+	a.Li(isa.T6, n)
+	a.Bne(isa.S5, isa.T6, "j_loop")
+	a.Addi(isa.S3, isa.S3, 1)
+	a.Li(isa.T6, n)
+	a.Bne(isa.S3, isa.T6, "i_loop")
+	a.Addi(isa.S2, isa.S2, 1)
+	a.Li(isa.T6, n-1)
+	a.Bne(isa.S2, isa.T6, "k_loop")
+	// checksum
+	a.Li(isa.A0, 0)
+	a.Li(isa.S2, 0)
+	a.Label("cks")
+	a.Slli(isa.T0, isa.S2, 2)
+	a.Add(isa.T0, isa.T0, isa.S0)
+	a.Lw(isa.T0, 0, isa.T0)
+	a.Li(isa.T1, 131)
+	a.Mul(isa.A0, isa.A0, isa.T1)
+	a.Add(isa.A0, isa.A0, isa.T0)
+	a.Addi(isa.S2, isa.S2, 1)
+	a.Li(isa.T1, n*n)
+	a.Bne(isa.S2, isa.T1, "cks")
+	endRepeat(a)
+	exitCheck(a, ref)
+	return a.MustAssemble()
+}
+
+// --- huffbench: bit-packing encode loop (variable-length codes).
+
+func huffBench() *isa.Image {
+	const n = 400
+	syms := make([]uint32, n)
+	x := uint32(0x51ab)
+	for i := range syms {
+		x = x*25173 + 13849
+		syms[i] = x >> 13 & 7
+	}
+	// Code: symbol s gets code of length s+1 with value (1<<s)-ish.
+	var acc, bits, sum uint32
+	for _, s := range syms {
+		code := (uint32(1) << s) | (s & 1)
+		length := s + 1
+		acc = acc<<length | code
+		bits += length
+		if bits >= 16 {
+			sum = sum*65599 + (acc & 0xffff)
+			bits -= 16
+		}
+	}
+	want := sum*65599 + acc + bits
+
+	a := isa.NewAsm()
+	a.Word("syms", syms...)
+	a.La(isa.S0, "syms")
+	beginRepeat(a, 16)
+	a.Li(isa.S2, 0) // acc
+	a.Li(isa.S3, 0) // bits
+	a.Li(isa.A0, 0) // sum
+	a.Li(isa.S4, 0) // i
+	a.Label("loop")
+	a.Slli(isa.T0, isa.S4, 2)
+	a.Add(isa.T0, isa.T0, isa.S0)
+	a.Lw(isa.T1, 0, isa.T0) // s
+	a.Li(isa.T2, 1)
+	a.Sll(isa.T2, isa.T2, isa.T1) // 1<<s
+	a.Andi(isa.T3, isa.T1, 1)
+	a.Or(isa.T2, isa.T2, isa.T3) // code
+	a.Addi(isa.T4, isa.T1, 1)    // length
+	a.Sll(isa.S2, isa.S2, isa.T4)
+	a.Or(isa.S2, isa.S2, isa.T2)
+	a.Add(isa.S3, isa.S3, isa.T4)
+	a.Li(isa.T5, 16)
+	a.Blt(isa.S3, isa.T5, "no_flush")
+	a.Li(isa.T5, 65599)
+	a.Mul(isa.A0, isa.A0, isa.T5)
+	a.Li(isa.T5, 0xffff)
+	a.And(isa.T6, isa.S2, isa.T5)
+	a.Add(isa.A0, isa.A0, isa.T6)
+	a.Addi(isa.S3, isa.S3, -16)
+	a.Label("no_flush")
+	a.Addi(isa.S4, isa.S4, 1)
+	a.Li(isa.T6, n)
+	a.Bne(isa.S4, isa.T6, "loop")
+	a.Li(isa.T5, 65599)
+	a.Mul(isa.A0, isa.A0, isa.T5)
+	a.Add(isa.A0, isa.A0, isa.S2)
+	a.Add(isa.A0, isa.A0, isa.S3)
+	endRepeat(a)
+	exitCheck(a, want)
+	return a.MustAssemble()
+}
+
+// --- statemate: a branchy finite-state machine over a pseudo-random
+// input tape.
+
+func statemateBench() *isa.Image {
+	const n = 600
+	tape := make([]uint32, n)
+	x := uint32(0xfeed)
+	for i := range tape {
+		x = x*1103515245 + 12345
+		tape[i] = x >> 9 & 3
+	}
+	state, visits := uint32(0), uint32(0)
+	for _, ev := range tape {
+		switch state {
+		case 0:
+			if ev == 1 {
+				state = 1
+			} else if ev == 3 {
+				state = 2
+			}
+		case 1:
+			if ev == 0 {
+				state = 3
+			} else {
+				state = 2
+			}
+		case 2:
+			visits += 3
+			if ev == 2 {
+				state = 0
+			}
+		case 3:
+			visits++
+			state = ev
+		}
+		visits = visits*2 + state
+	}
+
+	a := isa.NewAsm()
+	a.Word("tape", tape...)
+	a.La(isa.S0, "tape")
+	beginRepeat(a, 16)
+	a.Li(isa.S2, 0) // state
+	a.Li(isa.A0, 0) // visits
+	a.Li(isa.S4, 0) // i
+	a.Label("loop")
+	a.Slli(isa.T0, isa.S4, 2)
+	a.Add(isa.T0, isa.T0, isa.S0)
+	a.Lw(isa.T1, 0, isa.T0) // ev
+	// dispatch on state
+	a.Beqz(isa.S2, "st0")
+	a.Li(isa.T2, 1)
+	a.Beq(isa.S2, isa.T2, "st1")
+	a.Li(isa.T2, 2)
+	a.Beq(isa.S2, isa.T2, "st2")
+	// state 3
+	a.Addi(isa.A0, isa.A0, 1)
+	a.Mv(isa.S2, isa.T1)
+	a.J("after")
+	a.Label("st0")
+	a.Li(isa.T2, 1)
+	a.Bne(isa.T1, isa.T2, "st0_b")
+	a.Li(isa.S2, 1)
+	a.J("after")
+	a.Label("st0_b")
+	a.Li(isa.T2, 3)
+	a.Bne(isa.T1, isa.T2, "after")
+	a.Li(isa.S2, 2)
+	a.J("after")
+	a.Label("st1")
+	a.Bnez(isa.T1, "st1_b")
+	a.Li(isa.S2, 3)
+	a.J("after")
+	a.Label("st1_b")
+	a.Li(isa.S2, 2)
+	a.J("after")
+	a.Label("st2")
+	a.Addi(isa.A0, isa.A0, 3)
+	a.Li(isa.T2, 2)
+	a.Bne(isa.T1, isa.T2, "after")
+	a.Li(isa.S2, 0)
+	a.Label("after")
+	a.Slli(isa.A0, isa.A0, 1)
+	a.Add(isa.A0, isa.A0, isa.S2)
+	a.Addi(isa.S4, isa.S4, 1)
+	a.Li(isa.T6, n)
+	a.Bne(isa.S4, isa.T6, "loop")
+	endRepeat(a)
+	exitCheck(a, visits)
+	return a.MustAssemble()
+}
+
+// --- slre: byte-pattern matcher (find occurrences of a short pattern
+// with one wildcard).
+
+func slreBench() *isa.Image {
+	const n = 800
+	text := make([]byte, n)
+	x := uint32(0x5eed)
+	for i := range text {
+		x = x*48271 + 7
+		text[i] = byte('a' + x%4)
+	}
+	pat := []byte{'a', 'b', 0, 'c'} // 0 = wildcard
+	matches := uint32(0)
+	for i := 0; i+len(pat) <= n; i++ {
+		ok := true
+		for k, p := range pat {
+			if p != 0 && text[i+k] != p {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			matches++
+		}
+	}
+
+	a := isa.NewAsm()
+	a.Bytes("text", text)
+	a.Bytes("pat", pat)
+	a.La(isa.S0, "text")
+	a.La(isa.S1, "pat")
+	beginRepeat(a, 16)
+	a.Li(isa.A0, 0)
+	a.Li(isa.S2, 0) // i
+	a.Label("i_loop")
+	a.Li(isa.S4, 0) // k
+	a.Label("k_loop")
+	a.Add(isa.T0, isa.S1, isa.S4)
+	a.Lbu(isa.T1, 0, isa.T0) // p
+	a.Beqz(isa.T1, "wild")
+	a.Add(isa.T0, isa.S0, isa.S2)
+	a.Add(isa.T0, isa.T0, isa.S4)
+	a.Lbu(isa.T2, 0, isa.T0)
+	a.Bne(isa.T1, isa.T2, "no_match")
+	a.Label("wild")
+	a.Addi(isa.S4, isa.S4, 1)
+	a.Li(isa.T6, int64len(pat))
+	a.Bne(isa.S4, isa.T6, "k_loop")
+	a.Addi(isa.A0, isa.A0, 1)
+	a.Label("no_match")
+	a.Addi(isa.S2, isa.S2, 1)
+	a.Li(isa.T6, n-int64len(pat)+1)
+	a.Bne(isa.S2, isa.T6, "i_loop")
+	endRepeat(a)
+	exitCheck(a, matches)
+	return a.MustAssemble()
+}
+
+func int64len(b []byte) uint32 { return uint32(len(b)) }
+
+// --- tarfind: scan fixed-size records for a name match (header
+// comparisons).
+
+func tarfindBench() *isa.Image {
+	const rec = 16
+	const count = 128
+	data := make([]byte, rec*count)
+	x := uint32(0x7a12)
+	for i := range data {
+		x = x*134775813 + 1
+		data[i] = byte('A' + x%8)
+	}
+	// Plant a few matches.
+	name := []byte("DEADBEEF")
+	for _, at := range []int{5, 23, 61} {
+		copy(data[at*rec:], name)
+	}
+	found := uint32(0)
+	for r := 0; r < count; r++ {
+		ok := true
+		for k := range name {
+			if data[r*rec+k] != name[k] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			found = found*7 + uint32(r)
+		}
+	}
+
+	a := isa.NewAsm()
+	a.Bytes("arch", data)
+	a.Bytes("name", name)
+	a.La(isa.S0, "arch")
+	a.La(isa.S1, "name")
+	beginRepeat(a, 32)
+	a.Li(isa.A0, 0)
+	a.Li(isa.S2, 0) // r
+	a.Label("r_loop")
+	a.Li(isa.S4, 0) // k
+	a.Label("k_loop")
+	a.Li(isa.T0, rec)
+	a.Mul(isa.T0, isa.T0, isa.S2)
+	a.Add(isa.T0, isa.T0, isa.S4)
+	a.Add(isa.T0, isa.T0, isa.S0)
+	a.Lbu(isa.T1, 0, isa.T0)
+	a.Add(isa.T2, isa.S1, isa.S4)
+	a.Lbu(isa.T2, 0, isa.T2)
+	a.Bne(isa.T1, isa.T2, "next_r")
+	a.Addi(isa.S4, isa.S4, 1)
+	a.Li(isa.T6, int64len(name))
+	a.Bne(isa.S4, isa.T6, "k_loop")
+	a.Li(isa.T0, 7)
+	a.Mul(isa.A0, isa.A0, isa.T0)
+	a.Add(isa.A0, isa.A0, isa.S2)
+	a.Label("next_r")
+	a.Addi(isa.S2, isa.S2, 1)
+	a.Li(isa.T6, count)
+	a.Bne(isa.S2, isa.T6, "r_loop")
+	endRepeat(a)
+	exitCheck(a, found)
+	return a.MustAssemble()
+}
+
+// --- qrduino: GF(2^8) polynomial multiply-accumulate (Reed-Solomon
+// style).
+
+func qrduinoBench() *isa.Image {
+	const n = 96
+	msg := make([]uint32, n)
+	x := uint32(0x33cc)
+	for i := range msg {
+		x = x*22695477 + 1
+		msg[i] = x >> 20 & 0xff
+	}
+	gfmul := func(a, b uint32) uint32 {
+		var p uint32
+		for i := 0; i < 8; i++ {
+			if b&1 != 0 {
+				p ^= a
+			}
+			hi := a & 0x80
+			a = a << 1 & 0xff
+			if hi != 0 {
+				a ^= 0x1d
+			}
+			b >>= 1
+		}
+		return p
+	}
+	var acc uint32
+	for i, m := range msg {
+		acc = gfmul(acc, 2) ^ gfmul(m, uint32(i%7)+1)
+		acc &= 0xff
+	}
+
+	a := isa.NewAsm()
+	a.Word("msg", msg...)
+	// gfmul(a0=a, a1=b) -> a0, clobbers t0-t3
+	a.J("main")
+	a.Label("gfmul")
+	a.Li(isa.T0, 0) // p
+	a.Li(isa.T1, 8) // i
+	a.Label("gf_loop")
+	a.Andi(isa.T2, isa.A1, 1)
+	a.Beqz(isa.T2, "gf_nop")
+	a.Xor(isa.T0, isa.T0, isa.A0)
+	a.Label("gf_nop")
+	a.Andi(isa.T3, isa.A0, 0x80)
+	a.Slli(isa.A0, isa.A0, 1)
+	a.Andi(isa.A0, isa.A0, 0xff)
+	a.Beqz(isa.T3, "gf_nored")
+	a.Xori(isa.A0, isa.A0, 0x1d)
+	a.Label("gf_nored")
+	a.Srli(isa.A1, isa.A1, 1)
+	a.Addi(isa.T1, isa.T1, -1)
+	a.Bnez(isa.T1, "gf_loop")
+	a.Mv(isa.A0, isa.T0)
+	a.Ret()
+	a.Label("main")
+	a.La(isa.S0, "msg")
+	beginRepeat(a, 16)
+	a.Li(isa.S2, 0) // acc
+	a.Li(isa.S3, 0) // i
+	a.Label("loop")
+	a.Mv(isa.A0, isa.S2)
+	a.Li(isa.A1, 2)
+	a.Call("gfmul")
+	a.Mv(isa.S4, isa.A0) // gfmul(acc,2)
+	a.Slli(isa.T4, isa.S3, 2)
+	a.Add(isa.T4, isa.T4, isa.S0)
+	a.Lw(isa.A0, 0, isa.T4) // m
+	a.Li(isa.T5, 7)
+	a.Remu(isa.A1, isa.S3, isa.T5)
+	a.Addi(isa.A1, isa.A1, 1)
+	a.Call("gfmul")
+	a.Xor(isa.S2, isa.S4, isa.A0)
+	a.Andi(isa.S2, isa.S2, 0xff)
+	a.Addi(isa.S3, isa.S3, 1)
+	a.Li(isa.T6, n)
+	a.Bne(isa.S3, isa.T6, "loop")
+	endRepeat(a)
+	a.Mv(isa.A0, isa.S2)
+	exitCheck(a, acc)
+	return a.MustAssemble()
+}

@@ -1,0 +1,342 @@
+package embench
+
+import (
+	"math"
+
+	"repro/internal/isa"
+)
+
+// f32 arithmetic helpers for the Go-side references: Go's float32
+// operations are correctly rounded, matching the simulated FPU
+// bit-exactly.
+func fbits(f float32) uint32 { return math.Float32bits(f) }
+
+// --- minver: 3x3 matrix inversion by adjugate/determinant — the paper's
+// representative workload for the ALU/FPU SP profile.
+
+type mat3 [9]float32
+
+// minverRef mirrors the assembly: 4 harness iterations over a bank of
+// matrices, rotating the checksum between inversions.
+func minverRef(bank []mat3) uint32 {
+	var acc uint32
+	for iter := 0; iter < 16; iter++ {
+		for k := range bank {
+			acc = acc<<1 | acc>>31
+			acc ^= minverOnce(bank[k]) + uint32(iter)
+		}
+	}
+	return acc
+}
+
+func minverOnce(m mat3) uint32 {
+	c0 := m[4]*m[8] - m[5]*m[7]
+	c1 := m[3]*m[8] - m[5]*m[6]
+	c2 := m[3]*m[7] - m[4]*m[6]
+	det := m[0]*c0 - m[1]*c1 + m[2]*c2
+	inv := mat3{
+		c0, -(m[1]*m[8] - m[2]*m[7]), m[1]*m[5] - m[2]*m[4],
+		-c1, m[0]*m[8] - m[2]*m[6], -(m[0]*m[5] - m[2]*m[3]),
+		c2, -(m[0]*m[7] - m[1]*m[6]), m[0]*m[4] - m[1]*m[3],
+	}
+	var sum uint32
+	for i := range inv {
+		v := inv[i] / det
+		sum ^= fbits(v) + uint32(i)
+	}
+	return sum
+}
+
+// matBank generates well-conditioned small matrices.
+func matBank(n int) []mat3 {
+	bank := make([]mat3, n)
+	x := uint32(0x1357)
+	for k := range bank {
+		for i := 0; i < 9; i++ {
+			x = x*48271 + 11
+			bank[k][i] = float32(x%9) + 1
+			if i%4 == 0 {
+				bank[k][i] += 12 // diagonally dominant: det != 0
+			}
+		}
+	}
+	return bank
+}
+
+func minverBench() *isa.Image {
+	bank := matBank(16)
+	want := minverRef(bank)
+
+	var bits []uint32
+	for _, m := range bank {
+		for _, v := range m {
+			bits = append(bits, fbits(v))
+		}
+	}
+	a := isa.NewAsm()
+	a.Word("bank", bits...)
+	a.La(isa.S0, "bank")
+	a.Li(isa.S7, 0) // harness iteration
+	a.Li(isa.S8, 0) // checksum accumulator
+	a.Label("iter_loop")
+	a.Li(isa.S10, 0) // matrix index
+	a.Label("mat_loop")
+	// S6 = &bank[S10] (36 bytes per matrix)
+	a.Li(isa.T0, 36)
+	a.Mul(isa.T0, isa.T0, isa.S10)
+	a.Add(isa.S6, isa.T0, isa.S0)
+	// Load the matrix into f1..f9 (m[0]..m[8]).
+	for i := 0; i < 9; i++ {
+		a.Flw(isa.Reg(1+i), int32(4*i), isa.S6)
+	}
+	// Register plan: f10..f12 cofactors c0,c1,c2; f13 det; f14-f15 temps;
+	// f16..f24 inverse numerators.
+	mul := func(rd, x, y int) { a.Fmul(isa.Reg(rd), isa.Reg(x), isa.Reg(y)) }
+	sub := func(rd, x, y int) { a.Fsub(isa.Reg(rd), isa.Reg(x), isa.Reg(y)) }
+	neg := func(rd, x int) { a.Fsgnjn(isa.Reg(rd), isa.Reg(x), isa.Reg(x)) }
+	cof := func(rd, i, j, k, l int) {
+		mul(14, i, j)
+		mul(15, k, l)
+		sub(rd, 14, 15)
+	}
+	cof(10, 5, 9, 6, 8) // c0
+	cof(11, 4, 9, 6, 7) // c1
+	cof(12, 4, 8, 5, 7) // c2
+	mul(14, 1, 10)
+	mul(15, 2, 11)
+	sub(13, 14, 15)
+	mul(14, 3, 12)
+	a.Fadd(13, 13, 14) // det
+	a.Fsgnj(16, 10, 10)
+	cof(17, 2, 9, 3, 8)
+	neg(17, 17)
+	cof(18, 2, 6, 3, 5)
+	neg(19, 11)
+	cof(20, 1, 9, 3, 7)
+	cof(21, 1, 6, 3, 4)
+	neg(21, 21)
+	a.Fsgnj(22, 12, 12)
+	cof(23, 1, 8, 2, 7)
+	neg(23, 23)
+	cof(24, 1, 5, 2, 4)
+	// per-matrix checksum in a0
+	a.Li(isa.A0, 0)
+	for i := 0; i < 9; i++ {
+		a.Fdiv(25, isa.Reg(16+i), 13)
+		a.FmvXW(isa.T1, 25)
+		a.Addi(isa.T1, isa.T1, int32(i))
+		a.Xor(isa.A0, isa.A0, isa.T1)
+	}
+	// acc = rol(acc,1) ^ (sum + iter)
+	a.Slli(isa.T1, isa.S8, 1)
+	a.Srli(isa.T2, isa.S8, 31)
+	a.Or(isa.S8, isa.T1, isa.T2)
+	a.Add(isa.A0, isa.A0, isa.S7)
+	a.Xor(isa.S8, isa.S8, isa.A0)
+	a.Addi(isa.S10, isa.S10, 1)
+	a.Li(isa.T6, 16)
+	a.Bne(isa.S10, isa.T6, "mat_loop")
+	a.Addi(isa.S7, isa.S7, 1)
+	a.Li(isa.T6, 16)
+	a.Bne(isa.S7, isa.T6, "iter_loop")
+	a.Mv(isa.A0, isa.S8)
+	exitCheck(a, want)
+	return a.MustAssemble()
+}
+
+// --- st: statistics kernel — mean, variance and correlation-style
+// accumulations over a float array.
+
+func stBench() *isa.Image {
+	const n = 256
+	vals := make([]float32, n)
+	x := uint32(0xabcd)
+	for i := range vals {
+		x = x*22695477 + 1
+		vals[i] = float32(x%1000) / 8
+	}
+	var sum, sumSq float32
+	for _, v := range vals {
+		sum = sum + v
+		sumSq = sumSq + v*v
+	}
+	mean := sum / float32(n)
+	variance := (sumSq - sum*mean) / float32(n-1)
+	want := fbits(mean) ^ fbits(variance)
+
+	bits := make([]uint32, n)
+	for i, v := range vals {
+		bits[i] = fbits(v)
+	}
+	a := isa.NewAsm()
+	a.Word("vals", bits...)
+	a.La(isa.S0, "vals")
+	beginRepeat(a, 32)
+	a.FliBits(1, 0, isa.T0) // sum
+	a.FliBits(2, 0, isa.T0) // sumSq
+	a.Li(isa.S2, 0)
+	a.Label("loop")
+	a.Slli(isa.T0, isa.S2, 2)
+	a.Add(isa.T0, isa.T0, isa.S0)
+	a.Flw(3, 0, isa.T0)
+	a.Fadd(1, 1, 3)
+	a.Fmul(4, 3, 3)
+	a.Fadd(2, 2, 4)
+	a.Addi(isa.S2, isa.S2, 1)
+	a.Li(isa.T6, n)
+	a.Bne(isa.S2, isa.T6, "loop")
+	a.FliBits(5, fbits(float32(n)), isa.T0)
+	a.Fdiv(6, 1, 5) // mean
+	a.Fmul(7, 1, 6) // sum*mean
+	a.Fsub(8, 2, 7)
+	a.FliBits(9, fbits(float32(n-1)), isa.T0)
+	a.Fdiv(10, 8, 9) // variance
+	a.FmvXW(isa.T1, 6)
+	a.FmvXW(isa.T2, 10)
+	a.Xor(isa.A0, isa.T1, isa.T2)
+	endRepeat(a)
+	exitCheck(a, want)
+	return a.MustAssemble()
+}
+
+// --- nbody: a 2-D three-body gravity kernel, a few explicit Euler
+// steps.
+
+func nbodyBench() *isa.Image {
+	type body struct{ px, py, vx, vy float32 }
+	bodies := []body{
+		{0, 0, 0.1, -0.2},
+		{1.5, 0.5, -0.05, 0.1},
+		{-0.75, 1.25, 0.02, 0.03},
+		{0.25, -1.5, 0.07, 0.01},
+		{-1.25, -0.5, -0.03, 0.08},
+		{2.0, 1.75, 0.01, -0.06},
+	}
+	const steps = 64
+	const dt = float32(0.0625) // power of two: keeps rounding tame
+	ref := func() uint32 {
+		bs := append([]body(nil), bodies...)
+		for s := 0; s < steps; s++ {
+			for i := range bs {
+				var ax, ay float32
+				for j := range bs {
+					if i == j {
+						continue
+					}
+					dx := bs[j].px - bs[i].px
+					dy := bs[j].py - bs[i].py
+					d2 := dx*dx + dy*dy + 0.25
+					inv := 1 / d2
+					ax = ax + dx*inv
+					ay = ay + dy*inv
+				}
+				bs[i].vx = bs[i].vx + ax*dt
+				bs[i].vy = bs[i].vy + ay*dt
+			}
+			for i := range bs {
+				bs[i].px = bs[i].px + bs[i].vx*dt
+				bs[i].py = bs[i].py + bs[i].vy*dt
+			}
+		}
+		var sum uint32
+		for i := range bs {
+			sum ^= fbits(bs[i].px) + fbits(bs[i].py) + uint32(i)
+		}
+		return sum
+	}()
+
+	// Memory layout: per body px,py,vx,vy (4 words).
+	words := make([]uint32, 0, len(bodies)*4)
+	for _, b := range bodies {
+		words = append(words, fbits(b.px), fbits(b.py), fbits(b.vx), fbits(b.vy))
+	}
+	a := isa.NewAsm()
+	nb := uint32(len(bodies))
+	a.Word("bodies", words...)
+	a.La(isa.S0, "bodies")
+	a.FliBits(28, fbits(dt), isa.T0)   // dt
+	a.FliBits(29, fbits(0.25), isa.T0) // softening
+	a.FliBits(30, fbits(1.0), isa.T0)
+	a.Li(isa.S2, 0) // step
+	a.Label("step_loop")
+	a.Li(isa.S3, 0) // i
+	a.Label("i_loop")
+	// load body i pos into f1,f2; velocity f3,f4
+	a.Slli(isa.T0, isa.S3, 4)
+	a.Add(isa.S6, isa.T0, isa.S0) // &body[i]
+	a.Flw(1, 0, isa.S6)
+	a.Flw(2, 4, isa.S6)
+	a.Flw(3, 8, isa.S6)
+	a.Flw(4, 12, isa.S6)
+	a.FliBits(5, 0, isa.T0) // ax
+	a.FliBits(6, 0, isa.T0) // ay
+	a.Li(isa.S4, 0)         // j
+	a.Label("j_loop")
+	a.Beq(isa.S4, isa.S3, "skip_self")
+	a.Slli(isa.T0, isa.S4, 4)
+	a.Add(isa.T1, isa.T0, isa.S0)
+	a.Flw(7, 0, isa.T1)
+	a.Flw(8, 4, isa.T1)
+	a.Fsub(9, 7, 1)  // dx
+	a.Fsub(10, 8, 2) // dy
+	a.Fmul(11, 9, 9) // dx2
+	a.Fmul(12, 10, 10)
+	a.Fadd(11, 11, 12)
+	a.Fadd(11, 11, 29) // d2
+	a.Fdiv(12, 30, 11) // inv
+	a.Fmul(13, 9, 12)
+	a.Fadd(5, 5, 13)
+	a.Fmul(13, 10, 12)
+	a.Fadd(6, 6, 13)
+	a.Label("skip_self")
+	a.Addi(isa.S4, isa.S4, 1)
+	a.Li(isa.T6, nb)
+	a.Bne(isa.S4, isa.T6, "j_loop")
+	// v += a*dt
+	a.Fmul(13, 5, 28)
+	a.Fadd(3, 3, 13)
+	a.Fmul(13, 6, 28)
+	a.Fadd(4, 4, 13)
+	a.Fsw(3, 8, isa.S6)
+	a.Fsw(4, 12, isa.S6)
+	a.Addi(isa.S3, isa.S3, 1)
+	a.Li(isa.T6, nb)
+	a.Bne(isa.S3, isa.T6, "i_loop")
+	// position update pass
+	a.Li(isa.S3, 0)
+	a.Label("p_loop")
+	a.Slli(isa.T0, isa.S3, 4)
+	a.Add(isa.S6, isa.T0, isa.S0)
+	a.Flw(1, 0, isa.S6)
+	a.Flw(2, 4, isa.S6)
+	a.Flw(3, 8, isa.S6)
+	a.Flw(4, 12, isa.S6)
+	a.Fmul(13, 3, 28)
+	a.Fadd(1, 1, 13)
+	a.Fmul(13, 4, 28)
+	a.Fadd(2, 2, 13)
+	a.Fsw(1, 0, isa.S6)
+	a.Fsw(2, 4, isa.S6)
+	a.Addi(isa.S3, isa.S3, 1)
+	a.Li(isa.T6, nb)
+	a.Bne(isa.S3, isa.T6, "p_loop")
+	a.Addi(isa.S2, isa.S2, 1)
+	a.Li(isa.T6, steps)
+	a.Bne(isa.S2, isa.T6, "step_loop")
+	// checksum
+	a.Li(isa.A0, 0)
+	a.Li(isa.S3, 0)
+	a.Label("cks")
+	a.Slli(isa.T0, isa.S3, 4)
+	a.Add(isa.S6, isa.T0, isa.S0)
+	a.Lw(isa.T1, 0, isa.S6)
+	a.Lw(isa.T2, 4, isa.S6)
+	a.Add(isa.T1, isa.T1, isa.T2)
+	a.Add(isa.T1, isa.T1, isa.S3)
+	a.Xor(isa.A0, isa.A0, isa.T1)
+	a.Addi(isa.S3, isa.S3, 1)
+	a.Li(isa.T6, nb)
+	a.Bne(isa.S3, isa.T6, "cks")
+	exitCheck(a, ref)
+	return a.MustAssemble()
+}

@@ -1,0 +1,133 @@
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// CoverPoint pairs a module output bit with its shadow-replica
+// counterpart. The bounded model checker searches for an input sequence
+// making the two differ — the paper's `cover property (o != o_s)`.
+type CoverPoint struct {
+	Name         string // e.g. "result[5]"
+	Orig, Shadow netlist.NetID
+}
+
+// Instrumented is a shadow-replica netlist prepared for trace generation
+// (Figure 7 of the paper).
+type Instrumented struct {
+	Netlist *netlist.Netlist
+	Spec    Spec
+	Covers  []CoverPoint
+	// ConeCells is the number of original cells cloned into the shadow.
+	ConeCells int
+}
+
+// influenced computes the set of cells transitively affected by Y's
+// output, following both data pins and clock pins (a flip-flop whose
+// gated clock enable is corrupted is affected too). Y itself is included
+// (§3.3.2).
+func influenced(nl *netlist.Netlist, y netlist.CellID) []bool {
+	readers := nl.Readers()
+	inSet := make([]bool, len(nl.Cells))
+	inSet[y] = true
+	work := []netlist.NetID{nl.Cells[y].Out}
+	seenNet := make([]bool, nl.NumNets)
+	seenNet[nl.Cells[y].Out] = true
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, r := range readers[n] {
+			if inSet[r] {
+				continue
+			}
+			inSet[r] = true
+			out := nl.Cells[r].Out
+			if !seenNet[out] {
+				seenNet[out] = true
+				work = append(work, out)
+			}
+		}
+	}
+	return inSet
+}
+
+// ShadowReplica instruments a clone of the original netlist with a
+// shadow copy of Y's influence cone driven by the failure model, and
+// exposes cover points on every module output bit the fault can reach.
+func ShadowReplica(orig *netlist.Netlist, spec Spec) *Instrumented {
+	if spec.C == CRandom {
+		panic("fault: trace generation requires a constant C (0 or 1)")
+	}
+	b := netlist.NewBuilderFrom(orig)
+	inSet := influenced(orig, spec.End)
+
+	// Pre-allocate shadow nets for every influenced cell's output so the
+	// clone can be wired in one pass regardless of feedback.
+	shadowNet := make(map[netlist.NetID]netlist.NetID)
+	cone := 0
+	for i, c := range orig.Cells {
+		if inSet[i] {
+			cone++
+			shadowNet[c.Out] = b.NamedNet(orig.NetName(c.Out) + "_s")
+		}
+	}
+	shadowOf := func(n netlist.NetID) netlist.NetID {
+		if s, ok := shadowNet[n]; ok {
+			return s
+		}
+		return n
+	}
+
+	x := orig.Cells[spec.Start]
+	y := orig.Cells[spec.End]
+	active, cNet := activation(b, orig, spec, shadowOf(x.Out), shadowOf(x.In[0]))
+	faultyD := b.AddNamed(cell.MUX2, fmt.Sprintf("fault_mux_%s", y.Name),
+		shadowOf(y.In[0]), cNet, active)
+
+	for i, c := range orig.Cells {
+		if !inSet[i] {
+			continue
+		}
+		ins := make([]netlist.NetID, len(c.In))
+		for k, in := range c.In {
+			ins[k] = shadowOf(in)
+		}
+		clk := c.Clk
+		if clk != netlist.NoNet {
+			clk = shadowOf(clk)
+		}
+		if netlist.CellID(i) == spec.End {
+			ins[0] = faultyD // the failure model drives shadow Y
+		}
+		b.AddRaw(c.Kind, c.Name+"_s", ins, clk, shadowNet[c.Out], c.Init)
+	}
+
+	inst := &Instrumented{Spec: spec, ConeCells: cone}
+	for _, p := range orig.Outputs {
+		b.OutputBus(p.Name, p.Bits)
+		sBits := make(netlist.Bus, len(p.Bits))
+		touched := false
+		for i, n := range p.Bits {
+			sBits[i] = shadowOf(n)
+			if sBits[i] != n {
+				touched = true
+				inst.Covers = append(inst.Covers, CoverPoint{
+					Name:   fmt.Sprintf("%s[%d]", p.Name, i),
+					Orig:   n,
+					Shadow: sBits[i],
+				})
+			}
+		}
+		if touched {
+			b.OutputBus(p.Name+"_s", sBits)
+		}
+	}
+
+	nl := b.MustBuild()
+	nl.Name = orig.Name + "_shadow"
+	inst.Netlist = nl
+	return inst
+}

@@ -1,0 +1,77 @@
+package fpu
+
+import "fmt"
+
+// Op is an FPU operation selector.
+type Op uint32
+
+// The operation set is the RV32F subset that FPNew's add/mul and
+// non-computational paths serve (divide/sqrt live in a separate iterative
+// unit that the paper does not analyze).
+const (
+	OpFadd   Op = 0
+	OpFsub   Op = 1
+	OpFmul   Op = 2
+	OpFmin   Op = 3
+	OpFmax   Op = 4
+	OpFle    Op = 5
+	OpFlt    Op = 6
+	OpFeq    Op = 7
+	OpFsgnj  Op = 8
+	OpFsgnjn Op = 9
+	OpFsgnjx Op = 10
+	OpFclass Op = 11
+	NumOps      = 12
+)
+
+var opNames = [...]string{
+	"FADD", "FSUB", "FMUL", "FMIN", "FMAX", "FLE", "FLT", "FEQ",
+	"FSGNJ", "FSGNJN", "FSGNJX", "FCLASS",
+}
+
+func (op Op) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return fmt.Sprintf("FPUOP(%d)", uint32(op))
+}
+
+// Valid reports whether op is a legal encoding.
+func (op Op) Valid() bool { return op < NumOps }
+
+// OpWidth is the width of the op input port.
+const OpWidth = 4
+
+// FlagWidth is the width of the flags output port (the five fflags bits).
+const FlagWidth = 5
+
+// Eval is the behavioural golden model dispatcher.
+func Eval(op Op, a, b uint32) (result uint32, flags uint32) {
+	switch op {
+	case OpFadd:
+		return Add(a, b, false)
+	case OpFsub:
+		return Add(a, b, true)
+	case OpFmul:
+		return Mul(a, b)
+	case OpFmin:
+		return MinMax(a, b, false)
+	case OpFmax:
+		return MinMax(a, b, true)
+	case OpFle:
+		return Cmp(a, b, 0)
+	case OpFlt:
+		return Cmp(a, b, 1)
+	case OpFeq:
+		return Cmp(a, b, 2)
+	case OpFsgnj:
+		return SignInject(a, b, 0), 0
+	case OpFsgnjn:
+		return SignInject(a, b, 1), 0
+	case OpFsgnjx:
+		return SignInject(a, b, 2), 0
+	case OpFclass:
+		return Classify(a), 0
+	}
+	panic("fpu: invalid op " + op.String())
+}

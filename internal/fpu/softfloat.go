@@ -1,0 +1,381 @@
+// Package fpu implements the FPNew-style floating-point unit the paper
+// analyzes: an IEEE-754 binary32 datapath (add, sub, mul, min/max,
+// compares, sign injection, classify) with RISC-V flag semantics, in two
+// forms that must agree bit-exactly — a behavioural softfloat golden
+// model and a synthesized gate-level netlist.
+//
+// Rounding is round-to-nearest-even (the only mode the synthesized unit
+// implements; FPNew instantiates all five, but the analysis only needs a
+// deterministic reference). Subnormals are fully supported. NaN results
+// are canonicalized to 0x7fc00000 as RISC-V requires.
+package fpu
+
+// RISC-V fflags bit positions.
+const (
+	FlagNX uint32 = 1 << 0 // inexact
+	FlagUF uint32 = 1 << 1 // underflow
+	FlagOF uint32 = 1 << 2 // overflow
+	FlagDZ uint32 = 1 << 3 // divide by zero (never raised by this unit)
+	FlagNV uint32 = 1 << 4 // invalid operation
+)
+
+// QNaN is the RISC-V canonical quiet NaN.
+const QNaN uint32 = 0x7fc00000
+
+func signOf(x uint32) uint32 { return x >> 31 }
+func expOf(x uint32) uint32  { return x >> 23 & 0xff }
+func manOf(x uint32) uint32  { return x & 0x7fffff }
+
+func isNaN(x uint32) bool  { return expOf(x) == 0xff && manOf(x) != 0 }
+func isSNaN(x uint32) bool { return isNaN(x) && x&0x400000 == 0 }
+func isInf(x uint32) bool  { return expOf(x) == 0xff && manOf(x) == 0 }
+func isZero(x uint32) bool { return x&0x7fffffff == 0 }
+
+// decode returns (sign, unbiased-ish exponent, 24-bit significand) for a
+// finite input, normalizing subnormals into the same fixed-point frame:
+// the significand is m with the hidden bit at position 23 for normals;
+// subnormals use exp=1 with no hidden bit.
+func decode(x uint32) (sign uint32, exp int32, sig uint32) {
+	sign = signOf(x)
+	e := expOf(x)
+	m := manOf(x)
+	if e == 0 {
+		return sign, 1, m
+	}
+	return sign, int32(e), m | 0x800000
+}
+
+// roundPack assembles a result from sign, exponent and a significand with
+// 3 extra GRS bits (sig28 holds the significand left-shifted by 3, with
+// the leading 1 — if any — at bit 26). exp is the biased exponent that
+// bit 26 corresponds to. It performs RNE rounding, gradual underflow and
+// overflow, and returns the packed float and flags.
+func roundPack(sign uint32, exp int32, sig28 uint32) (uint32, uint32) {
+	var flags uint32
+
+	if sig28 == 0 {
+		return sign << 31, 0
+	}
+
+	// Normalize left: bring the MSB to bit 26 while exp allows.
+	for sig28 < 1<<26 && exp > 1 {
+		sig28 <<= 1
+		exp--
+	}
+	// Normalize right (cannot happen after the left pass unless caller
+	// passed a carry-out at bit 27).
+	for sig28 >= 1<<27 {
+		sticky := sig28 & 1
+		sig28 = sig28>>1 | sticky
+		exp++
+	}
+
+	subnormal := sig28 < 1<<26 // exp==1 and no hidden bit: subnormal frame
+
+	// Denormalize if the exponent underflowed below the subnormal frame.
+	if exp < 1 {
+		shift := uint32(1 - exp)
+		var sticky uint32
+		if shift >= 28 {
+			sticky = b2u(sig28 != 0)
+			sig28 = 0
+		} else {
+			if sig28&(1<<shift-1) != 0 {
+				sticky = 1
+			}
+			sig28 >>= shift
+		}
+		sig28 |= sticky
+		exp = 1
+		subnormal = true
+	}
+
+	grs := sig28 & 7
+	mant := sig28 >> 3 // up to 24 bits
+	inexact := grs != 0
+	// Round to nearest even.
+	if grs > 4 || (grs == 4 && mant&1 == 1) {
+		mant++
+	}
+	if mant >= 1<<24 { // rounding carried out of the significand
+		mant >>= 1
+		exp++
+		subnormal = false
+	}
+	if subnormal && mant >= 1<<23 {
+		// Rounded up from the subnormal frame into the smallest normal.
+		subnormal = false
+	}
+
+	if inexact {
+		flags |= FlagNX
+		if subnormal {
+			flags |= FlagUF // tiny and inexact
+		}
+	}
+
+	if exp >= 0xff {
+		// Overflow: RNE rounds to infinity.
+		return sign<<31 | 0xff<<23, flags | FlagOF | FlagNX
+	}
+
+	var e uint32
+	if mant < 1<<23 {
+		e = 0 // subnormal (or zero)
+	} else {
+		e = uint32(exp)
+		mant &= 0x7fffff
+	}
+	return sign<<31 | e<<23 | mant, flags
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Add computes a+b (effectiveSub flips b's sign for FSUB) with RNE
+// rounding, returning the result bits and raised fflags.
+func Add(a, b uint32, effectiveSub bool) (uint32, uint32) {
+	if effectiveSub {
+		b ^= 1 << 31
+	}
+	var flags uint32
+	if isSNaN(a) || isSNaN(b) {
+		flags |= FlagNV
+	}
+	if isNaN(a) || isNaN(b) {
+		return QNaN, flags
+	}
+	switch {
+	case isInf(a) && isInf(b):
+		if signOf(a) != signOf(b) {
+			return QNaN, flags | FlagNV
+		}
+		return a, flags
+	case isInf(a):
+		return a, flags
+	case isInf(b):
+		return b, flags
+	}
+	if isZero(a) && isZero(b) {
+		// +0 + -0 = +0 under RNE; equal signs keep the sign.
+		if signOf(a) == signOf(b) {
+			return a, flags
+		}
+		return 0, flags
+	}
+
+	sa, ea, ma := decode(a)
+	sb, eb, mb := decode(b)
+	// Work with 3 GRS bits.
+	xa := uint64(ma) << 3
+	xb := uint64(mb) << 3
+	exp := ea
+	if ea < eb {
+		sa, sb = sb, sa
+		ea, eb = eb, ea
+		xa, xb = xb, xa
+		exp = ea
+	}
+	// Align xb down by the exponent difference, keeping a sticky bit.
+	d := uint32(ea - eb)
+	if d > 0 {
+		if d >= 28 {
+			if xb != 0 {
+				xb = 1
+			}
+		} else {
+			sticky := uint64(0)
+			if xb&(1<<d-1) != 0 {
+				sticky = 1
+			}
+			xb = xb>>d | sticky
+		}
+	}
+
+	var sign uint32
+	var sum uint64
+	if sa == sb {
+		sign = sa
+		sum = xa + xb
+	} else {
+		if xa >= xb {
+			sign = sa
+			sum = xa - xb
+		} else {
+			sign = sb
+			sum = xb - xa
+		}
+		if sum == 0 {
+			return 0, flags // exact cancellation: +0 under RNE
+		}
+	}
+	res, f := roundPack(sign, exp, uint32(sum))
+	return res, flags | f
+}
+
+// Mul computes a*b with RNE rounding.
+func Mul(a, b uint32) (uint32, uint32) {
+	var flags uint32
+	if isSNaN(a) || isSNaN(b) {
+		flags |= FlagNV
+	}
+	if isNaN(a) || isNaN(b) {
+		return QNaN, flags
+	}
+	sign := signOf(a) ^ signOf(b)
+	switch {
+	case isInf(a) || isInf(b):
+		if isZero(a) || isZero(b) {
+			return QNaN, flags | FlagNV
+		}
+		return sign<<31 | 0xff<<23, flags
+	case isZero(a) || isZero(b):
+		return sign << 31, flags
+	}
+
+	_, ea, ma := decode(a)
+	_, eb, mb := decode(b)
+	// Normalize subnormal inputs so the product frame is fixed.
+	for ma < 1<<23 {
+		ma <<= 1
+		ea--
+	}
+	for mb < 1<<23 {
+		mb <<= 1
+		eb--
+	}
+	prod := uint64(ma) * uint64(mb) // in [2^46, 2^48)
+	exp := ea + eb - 127
+
+	// Reduce the 48-bit product to a 27-bit frame (24 significand bits +
+	// GRS): shift right by 20, collecting sticky.
+	sticky := uint64(0)
+	if prod&(1<<20-1) != 0 {
+		sticky = 1
+	}
+	sig := uint32(prod>>20) | uint32(sticky) // leading 1 at bit 26 or 27
+	res, f := roundPack(sign, exp, sig)
+	return res, flags | f
+}
+
+// MinMax computes FMIN.S / FMAX.S with RISC-V semantics: NaNs lose, both
+// NaN gives the canonical NaN, sNaN raises NV, and -0 orders below +0.
+func MinMax(a, b uint32, max bool) (uint32, uint32) {
+	var flags uint32
+	if isSNaN(a) || isSNaN(b) {
+		flags |= FlagNV
+	}
+	switch {
+	case isNaN(a) && isNaN(b):
+		return QNaN, flags
+	case isNaN(a):
+		return b, flags
+	case isNaN(b):
+		return a, flags
+	}
+	aLess := fltRaw(a, b) || (isZero(a) && isZero(b) && signOf(a) == 1)
+	if aLess != max {
+		return a, flags
+	}
+	return b, flags
+}
+
+// fltRaw is float less-than for non-NaN inputs.
+func fltRaw(a, b uint32) bool {
+	sa, sb := signOf(a), signOf(b)
+	if isZero(a) && isZero(b) {
+		return false
+	}
+	switch {
+	case sa == 1 && sb == 0:
+		return true
+	case sa == 0 && sb == 1:
+		return false
+	case sa == 0:
+		return a&0x7fffffff < b&0x7fffffff
+	default:
+		return a&0x7fffffff > b&0x7fffffff
+	}
+}
+
+// Cmp computes FEQ/FLT/FLE. kind: 0=FLE, 1=FLT, 2=FEQ (matching the op
+// encodings OpFle..OpFeq minus OpFle). The result is 0 or 1.
+func Cmp(a, b uint32, kind int) (uint32, uint32) {
+	var flags uint32
+	anyNaN := isNaN(a) || isNaN(b)
+	switch kind {
+	case 2: // FEQ: quiet predicate, NV only on sNaN
+		if isSNaN(a) || isSNaN(b) {
+			flags |= FlagNV
+		}
+		if anyNaN {
+			return 0, flags
+		}
+		if a == b || (isZero(a) && isZero(b)) {
+			return 1, flags
+		}
+		return 0, flags
+	case 1: // FLT: signaling predicate
+		if anyNaN {
+			return 0, flags | FlagNV
+		}
+		return b2u(fltRaw(a, b)), flags
+	default: // FLE
+		if anyNaN {
+			return 0, flags | FlagNV
+		}
+		eq := a == b || (isZero(a) && isZero(b))
+		return b2u(eq || fltRaw(a, b)), flags
+	}
+}
+
+// SignInject computes FSGNJ (mode 0), FSGNJN (mode 1), FSGNJX (mode 2).
+func SignInject(a, b uint32, mode int) uint32 {
+	mag := a & 0x7fffffff
+	sb := signOf(b)
+	switch mode {
+	case 1:
+		sb ^= 1
+	case 2:
+		sb ^= signOf(a)
+	}
+	return sb<<31 | mag
+}
+
+// Classify computes the RISC-V FCLASS.S 10-bit result mask.
+func Classify(a uint32) uint32 {
+	s := signOf(a)
+	e := expOf(a)
+	m := manOf(a)
+	switch {
+	case e == 0xff && m != 0:
+		if a&0x400000 == 0 {
+			return 1 << 8 // signaling NaN
+		}
+		return 1 << 9 // quiet NaN
+	case e == 0xff:
+		if s == 1 {
+			return 1 << 0 // -inf
+		}
+		return 1 << 7 // +inf
+	case e == 0 && m == 0:
+		if s == 1 {
+			return 1 << 3 // -0
+		}
+		return 1 << 4 // +0
+	case e == 0:
+		if s == 1 {
+			return 1 << 2 // negative subnormal
+		}
+		return 1 << 5 // positive subnormal
+	default:
+		if s == 1 {
+			return 1 << 1 // negative normal
+		}
+		return 1 << 6 // positive normal
+	}
+}

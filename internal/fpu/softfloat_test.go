@@ -1,0 +1,275 @@
+package fpu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// goWant computes the reference result using Go's float32 arithmetic
+// (which the Go spec requires to be correctly rounded) with NaN results
+// canonicalized the way RISC-V mandates.
+func goWant(op func(a, b float32) float32, a, b uint32) uint32 {
+	r := op(math.Float32frombits(a), math.Float32frombits(b))
+	bits := math.Float32bits(r)
+	if bits&0x7fffffff > 0x7f800000 {
+		return QNaN
+	}
+	return bits
+}
+
+// interestingBits are operands that exercise every special case:
+// zeros, subnormals, normals, infinities, NaNs, and boundaries.
+var interestingBits = []uint32{
+	0x00000000, 0x80000000, // +-0
+	0x00000001, 0x80000001, // smallest subnormals
+	0x007fffff, 0x807fffff, // largest subnormals
+	0x00800000, 0x80800000, // smallest normals
+	0x3f800000, 0xbf800000, // +-1
+	0x3f800001, 0x34000000, // 1+ulp, 2^-23
+	0x7f7fffff, 0xff7fffff, // +-max normal
+	0x7f800000, 0xff800000, // +-inf
+	0x7fc00000, 0xffc00000, // quiet NaNs
+	0x7f800001, 0x7fbfffff, // signaling NaNs
+	0x40490fdb, 0xc0490fdb, // +-pi
+	0x4b800000, 0x4b800001, // 2^24 region (integer-valued)
+	0x00000002, 0x00400000, // tiny subnormals
+	0x3effffff, 0x3f000000, // just under/at 0.5
+}
+
+func randOperand(rng *rand.Rand) uint32 {
+	switch rng.Intn(4) {
+	case 0:
+		return interestingBits[rng.Intn(len(interestingBits))]
+	case 1:
+		// Random with small exponent spread (stress alignment/cancel).
+		e := uint32(120 + rng.Intn(16))
+		return uint32(rng.Intn(2))<<31 | e<<23 | uint32(rng.Intn(1<<23))
+	default:
+		return rng.Uint32()
+	}
+}
+
+func TestAddAgainstGo(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	add := func(a, b float32) float32 { return a + b }
+	for i := 0; i < 200000; i++ {
+		a, b := randOperand(rng), randOperand(rng)
+		got, _ := Add(a, b, false)
+		want := goWant(add, a, b)
+		if got != want {
+			t.Fatalf("Add(%08x, %08x) = %08x, want %08x", a, b, got, want)
+		}
+	}
+}
+
+func TestSubAgainstGo(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	sub := func(a, b float32) float32 { return a - b }
+	for i := 0; i < 200000; i++ {
+		a, b := randOperand(rng), randOperand(rng)
+		got, _ := Add(a, b, true)
+		want := goWant(sub, a, b)
+		if got != want {
+			t.Fatalf("Sub(%08x, %08x) = %08x, want %08x", a, b, got, want)
+		}
+	}
+}
+
+func TestMulAgainstGo(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	mul := func(a, b float32) float32 { return a * b }
+	for i := 0; i < 200000; i++ {
+		a, b := randOperand(rng), randOperand(rng)
+		got, _ := Mul(a, b)
+		want := goWant(mul, a, b)
+		if got != want {
+			t.Fatalf("Mul(%08x, %08x) = %08x, want %08x", a, b, got, want)
+		}
+	}
+}
+
+func TestExhaustiveSpecialPairs(t *testing.T) {
+	add := func(a, b float32) float32 { return a + b }
+	sub := func(a, b float32) float32 { return a - b }
+	mul := func(a, b float32) float32 { return a * b }
+	for _, a := range interestingBits {
+		for _, b := range interestingBits {
+			if got, want := first(Add(a, b, false)), goWant(add, a, b); got != want {
+				t.Errorf("Add(%08x, %08x) = %08x, want %08x", a, b, got, want)
+			}
+			if got, want := first(Add(a, b, true)), goWant(sub, a, b); got != want {
+				t.Errorf("Sub(%08x, %08x) = %08x, want %08x", a, b, got, want)
+			}
+			if got, want := first(Mul(a, b)), goWant(mul, a, b); got != want {
+				t.Errorf("Mul(%08x, %08x) = %08x, want %08x", a, b, got, want)
+			}
+		}
+	}
+}
+
+func first(a, _ uint32) uint32 { return a }
+
+func TestAddFlags(t *testing.T) {
+	// inf - inf: invalid.
+	if _, f := Add(0x7f800000, 0x7f800000, true); f&FlagNV == 0 {
+		t.Error("inf-inf should raise NV")
+	}
+	// sNaN input: invalid.
+	if _, f := Add(0x7f800001, 0x3f800000, false); f&FlagNV == 0 {
+		t.Error("sNaN should raise NV")
+	}
+	// qNaN input: no NV.
+	if _, f := Add(QNaN, 0x3f800000, false); f != 0 {
+		t.Error("qNaN should not raise flags")
+	}
+	// max + max: overflow + inexact.
+	if r, f := Add(0x7f7fffff, 0x7f7fffff, false); r != 0x7f800000 || f&FlagOF == 0 || f&FlagNX == 0 {
+		t.Errorf("max+max = %08x flags %05b", r, f)
+	}
+	// 1 + 2^-24: inexact, no overflow/underflow.
+	if _, f := Add(0x3f800000, 0x33800000, false); f != FlagNX {
+		t.Errorf("1+2^-24 flags = %05b, want NX only", f)
+	}
+	// Exact addition: no flags.
+	if _, f := Add(0x3f800000, 0x3f800000, false); f != 0 {
+		t.Errorf("1+1 flags = %05b, want none", f)
+	}
+}
+
+func TestMulFlags(t *testing.T) {
+	// 0 * inf: invalid.
+	if r, f := Mul(0, 0x7f800000); r != QNaN || f&FlagNV == 0 {
+		t.Error("0*inf should be NaN with NV")
+	}
+	// Overflow.
+	if r, f := Mul(0x7f7fffff, 0x7f7fffff); r != 0x7f800000 || f&FlagOF == 0 {
+		t.Errorf("max*max = %08x flags %05b", r, f)
+	}
+	// Underflow: two tiny normals.
+	if _, f := Mul(0x00800001, 0x3e800000); f&FlagUF == 0 || f&FlagNX == 0 {
+		t.Errorf("tiny product flags = %05b, want UF|NX", f)
+	}
+	// Exact small product: subnormal result but exact, no UF.
+	// 2^-100 * 2^-50 = 2^-150? Too small; use 2^-126 * 2^-10 = 2^-136 exact subnormal? 2^-136 < 2^-149 min subnormal... use 2^-130 = subnormal, exact.
+	a := uint32((127 - 100) << 23) // 2^-100
+	b := uint32((127 - 30) << 23)  // 2^-30
+	if r, f := Mul(a, b); f != 0 || r != 1<<(149-130) {
+		t.Errorf("2^-100*2^-30 = %08x flags %05b, want exact subnormal", r, f)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	one := uint32(0x3f800000)
+	two := uint32(0x40000000)
+	negZero := uint32(0x80000000)
+	posZero := uint32(0)
+	if r, _ := MinMax(one, two, false); r != one {
+		t.Error("min(1,2)")
+	}
+	if r, _ := MinMax(one, two, true); r != two {
+		t.Error("max(1,2)")
+	}
+	if r, _ := MinMax(negZero, posZero, false); r != negZero {
+		t.Error("min(-0,+0) should be -0")
+	}
+	if r, _ := MinMax(negZero, posZero, true); r != posZero {
+		t.Error("max(-0,+0) should be +0")
+	}
+	if r, f := MinMax(QNaN, one, false); r != one || f != 0 {
+		t.Error("min(qNaN,1) should be 1 with no flags")
+	}
+	if r, f := MinMax(0x7f800001, one, false); r != one || f&FlagNV == 0 {
+		t.Error("min(sNaN,1) should be 1 with NV")
+	}
+	if r, _ := MinMax(QNaN, QNaN, true); r != QNaN {
+		t.Error("max(NaN,NaN) should be canonical NaN")
+	}
+}
+
+func TestCmp(t *testing.T) {
+	one := uint32(0x3f800000)
+	two := uint32(0x40000000)
+	if r, _ := Cmp(one, two, 1); r != 1 {
+		t.Error("1 < 2")
+	}
+	if r, _ := Cmp(two, one, 1); r != 0 {
+		t.Error("!(2 < 1)")
+	}
+	if r, _ := Cmp(one, one, 0); r != 1 {
+		t.Error("1 <= 1")
+	}
+	if r, _ := Cmp(one, one, 2); r != 1 {
+		t.Error("1 == 1")
+	}
+	if r, _ := Cmp(0, 0x80000000, 2); r != 1 {
+		t.Error("+0 == -0")
+	}
+	// FLT with qNaN: result 0, NV raised (signaling predicate).
+	if r, f := Cmp(QNaN, one, 1); r != 0 || f&FlagNV == 0 {
+		t.Error("FLT(NaN, 1)")
+	}
+	// FEQ with qNaN: result 0, no NV.
+	if r, f := Cmp(QNaN, one, 2); r != 0 || f != 0 {
+		t.Error("FEQ(qNaN, 1)")
+	}
+	// FEQ with sNaN: NV.
+	if _, f := Cmp(0x7f800001, one, 2); f&FlagNV == 0 {
+		t.Error("FEQ(sNaN, 1) should raise NV")
+	}
+	// Negative compares.
+	if r, _ := Cmp(0xbf800000, 0xc0000000, 1); r != 0 {
+		t.Error("!(-1 < -2)")
+	}
+	if r, _ := Cmp(0xc0000000, 0xbf800000, 1); r != 1 {
+		t.Error("-2 < -1")
+	}
+}
+
+func TestSignInject(t *testing.T) {
+	one := uint32(0x3f800000)
+	negTwo := uint32(0xc0000000)
+	if SignInject(one, negTwo, 0) != 0xbf800000 {
+		t.Error("FSGNJ")
+	}
+	if SignInject(one, negTwo, 1) != one {
+		t.Error("FSGNJN")
+	}
+	if SignInject(negTwo, negTwo, 2) != 0x40000000 {
+		t.Error("FSGNJX(-2,-2) should be +2")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := map[uint32]uint32{
+		0xff800000: 1 << 0, // -inf
+		0xbf800000: 1 << 1, // -normal
+		0x80000001: 1 << 2, // -subnormal
+		0x80000000: 1 << 3, // -0
+		0x00000000: 1 << 4, // +0
+		0x00000001: 1 << 5, // +subnormal
+		0x3f800000: 1 << 6, // +normal
+		0x7f800000: 1 << 7, // +inf
+		0x7f800001: 1 << 8, // sNaN
+		0x7fc00000: 1 << 9, // qNaN
+	}
+	for in, want := range cases {
+		if got := Classify(in); got != want {
+			t.Errorf("Classify(%08x) = %010b, want %010b", in, got, want)
+		}
+	}
+}
+
+func TestAddCancellationToZero(t *testing.T) {
+	// x - x = +0 under RNE, for every finite x.
+	rng := rand.New(rand.NewSource(14))
+	for i := 0; i < 1000; i++ {
+		a := randOperand(rng)
+		if isNaN(a) || isInf(a) {
+			continue
+		}
+		if r, _ := Add(a, a, true); r != 0 {
+			t.Fatalf("%08x - itself = %08x, want +0", a, r)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestKnownEncodings(t *testing.T) {
+	cases := []struct {
+		inst Inst
+		want uint32
+	}{
+		{Inst{Op: ADDI, Rd: 1, Rs1: 0, Imm: 5}, 0x00500093},
+		{Inst{Op: ADD, Rd: 3, Rs1: 1, Rs2: 2}, 0x002081b3},
+		{Inst{Op: LUI, Rd: 5, Imm: 0x12345000}, 0x123452b7},
+		{Inst{Op: ECALL}, 0x00000073},
+		{Inst{Op: EBREAK}, 0x00100073},
+		{Inst{Op: LW, Rd: 6, Rs1: 2, Imm: 16}, 0x01012303},
+		{Inst{Op: SW, Rs1: 2, Rs2: 7, Imm: 20}, 0x00712a23},
+		{Inst{Op: BEQ, Rs1: 1, Rs2: 2, Imm: 8}, 0x00208463},
+		{Inst{Op: JAL, Rd: 1, Imm: 16}, 0x010000ef},
+		{Inst{Op: SRAI, Rd: 4, Rs1: 4, Imm: 3}, 0x40325213},
+		{Inst{Op: MUL, Rd: 10, Rs1: 11, Rs2: 12}, 0x02c58533},
+		{Inst{Op: FADDS, Rd: 1, Rs1: 2, Rs2: 3}, 0x003100d3},
+	}
+	for _, c := range cases {
+		got, err := Encode(c.inst)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", c.inst, err)
+		}
+		if got != c.want {
+			t.Errorf("Encode(%v) = %#08x, want %#08x", c.inst, got, c.want)
+		}
+	}
+}
+
+// randInst generates a random valid instruction of each class.
+func randInst(rng *rand.Rand) Inst {
+	reg := func() Reg { return Reg(rng.Intn(32)) }
+	imm12 := func() int32 { return int32(rng.Intn(4096) - 2048) }
+	switch rng.Intn(10) {
+	case 0:
+		ops := []Op{ADD, SUB, SLL, SLT, SLTU, XOR, SRL, SRA, OR, AND,
+			MUL, MULH, MULHSU, MULHU, DIV, DIVU, REM, REMU}
+		return Inst{Op: ops[rng.Intn(len(ops))], Rd: reg(), Rs1: reg(), Rs2: reg()}
+	case 1:
+		ops := []Op{ADDI, SLTI, SLTIU, XORI, ORI, ANDI, JALR}
+		return Inst{Op: ops[rng.Intn(len(ops))], Rd: reg(), Rs1: reg(), Imm: imm12()}
+	case 2:
+		ops := []Op{SLLI, SRLI, SRAI}
+		return Inst{Op: ops[rng.Intn(len(ops))], Rd: reg(), Rs1: reg(), Imm: int32(rng.Intn(32))}
+	case 3:
+		ops := []Op{LB, LH, LW, LBU, LHU, FLW}
+		return Inst{Op: ops[rng.Intn(len(ops))], Rd: reg(), Rs1: reg(), Imm: imm12()}
+	case 4:
+		ops := []Op{SB, SH, SW, FSW}
+		return Inst{Op: ops[rng.Intn(len(ops))], Rs1: reg(), Rs2: reg(), Imm: imm12()}
+	case 5:
+		ops := []Op{BEQ, BNE, BLT, BGE, BLTU, BGEU}
+		return Inst{Op: ops[rng.Intn(len(ops))], Rs1: reg(), Rs2: reg(),
+			Imm: int32(rng.Intn(2048)-1024) * 2}
+	case 6:
+		return Inst{Op: []Op{LUI, AUIPC}[rng.Intn(2)], Rd: reg(),
+			Imm: int32(rng.Uint32() & 0xfffff000)}
+	case 7:
+		return Inst{Op: JAL, Rd: reg(), Imm: int32(rng.Intn(1<<19)-(1<<18)) * 2}
+	case 8:
+		ops := []Op{FADDS, FSUBS, FMULS, FDIVS, FSGNJS, FSGNJNS, FSGNJXS,
+			FMINS, FMAXS, FEQS, FLTS, FLES}
+		return Inst{Op: ops[rng.Intn(len(ops))], Rd: reg(), Rs1: reg(), Rs2: reg()}
+	default:
+		ops := []Op{FCVTWS, FCVTWUS, FMVXW, FCLASSS, FCVTSW, FCVTSWU, FMVWX}
+		return Inst{Op: ops[rng.Intn(len(ops))], Rd: reg(), Rs1: reg()}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		inst := randInst(rng)
+		w, err := Encode(inst)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", inst, err)
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(%#08x) [%v]: %v", w, inst, err)
+		}
+		// Normalize: R-type decode never sets Imm; stores don't set Rd.
+		if got != inst {
+			t.Fatalf("roundtrip %v -> %#08x -> %v", inst, w, got)
+		}
+	}
+}
+
+func TestCSRRoundTrip(t *testing.T) {
+	for _, op := range []Op{CSRRW, CSRRS, CSRRC} {
+		inst := Inst{Op: op, Rd: 10, Rs1: 5, Imm: CSRFflags}
+		w, err := Encode(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(w)
+		if err != nil || got != inst {
+			t.Fatalf("CSR roundtrip: %v -> %v (%v)", inst, got, err)
+		}
+	}
+}
+
+func TestOutOfRangeImmediatesRejected(t *testing.T) {
+	bad := []Inst{
+		{Op: ADDI, Rd: 1, Imm: 5000},
+		{Op: SW, Rs1: 1, Rs2: 2, Imm: -3000},
+		{Op: SLLI, Rd: 1, Imm: 40},
+		{Op: BEQ, Imm: 3},       // odd offset
+		{Op: BEQ, Imm: 1 << 13}, // too far
+		{Op: JAL, Imm: 1 << 21},
+	}
+	for _, i := range bad {
+		if _, err := Encode(i); err == nil {
+			t.Errorf("Encode(%v) should fail", i)
+		}
+	}
+}
+
+func TestAssembleLabels(t *testing.T) {
+	a := NewAsm()
+	a.Li(T0, 0)
+	a.Label("loop")
+	a.Addi(T0, T0, 1)
+	a.Li(T1, 10)
+	a.Bne(T0, T1, "loop")
+	a.Ecall()
+	img := a.MustAssemble()
+	if len(img.Words) != 5 {
+		t.Fatalf("got %d words", len(img.Words))
+	}
+	// The branch at index 3 must target index 1: offset -8.
+	if img.Insts[3].Imm != -8 {
+		t.Errorf("branch offset = %d, want -8", img.Insts[3].Imm)
+	}
+	if img.Labels["loop"] != img.Base+4 {
+		t.Errorf("label addr = %#x", img.Labels["loop"])
+	}
+}
+
+func TestAssembleDataAndLa(t *testing.T) {
+	a := NewAsm()
+	a.Word("tbl", 0xdeadbeef, 0x12345678)
+	a.La(T0, "tbl")
+	a.Lw(T1, 4, T0)
+	a.Ecall()
+	img := a.MustAssemble()
+	addr := img.Labels["tbl"]
+	if addr != DefaultDataBase {
+		t.Errorf("tbl at %#x", addr)
+	}
+	// LUI+ADDI must reconstruct the address.
+	lui := img.Insts[0]
+	addi := img.Insts[1]
+	if got := uint32(lui.Imm) + uint32(addi.Imm); got != addr {
+		t.Errorf("la reconstructs %#x, want %#x", got, addr)
+	}
+	if img.Data[0] != 0xef || img.Data[3] != 0xde {
+		t.Error("data not little-endian")
+	}
+}
+
+func TestLiVariants(t *testing.T) {
+	cases := []uint32{0, 1, 2047, 2048, 0xfffff800, 0xffffffff, 0x12345678, 0x80000000, 0x800}
+	for _, v := range cases {
+		a := NewAsm()
+		a.Li(T0, v)
+		a.Ecall()
+		img := a.MustAssemble()
+		// Emulate the 1-2 instruction sequence.
+		var x uint32
+		for _, inst := range img.Insts {
+			switch inst.Op {
+			case LUI:
+				x = uint32(inst.Imm)
+			case ADDI:
+				x += uint32(inst.Imm)
+			}
+		}
+		if x != v {
+			t.Errorf("Li(%#x) loads %#x", v, x)
+		}
+	}
+}
+
+func TestUndefinedLabelFails(t *testing.T) {
+	a := NewAsm()
+	a.J("nowhere")
+	if _, err := a.Assemble(); err == nil {
+		t.Fatal("undefined label must fail")
+	}
+}
+
+func TestInstString(t *testing.T) {
+	if s := (Inst{Op: ADD, Rd: 3, Rs1: 1, Rs2: 2}).String(); s != "add gp, ra, sp" {
+		t.Errorf("String = %q", s)
+	}
+	if s := (Inst{Op: LW, Rd: 6, Rs1: 2, Imm: 16}).String(); s != "lw t1, 16(sp)" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	a := NewAsm()
+	a.Li(T0, 5)
+	a.Label("loop")
+	a.Addi(T0, T0, -1)
+	a.Bnez(T0, "loop")
+	a.Ecall()
+	img := a.MustAssemble()
+	out := img.Disassemble()
+	for _, want := range []string{"loop:", "addi t0, t0, -1", "ecall", "001000:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}

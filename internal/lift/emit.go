@@ -1,0 +1,268 @@
+package lift
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/alu"
+	"repro/internal/fpu"
+	"repro/internal/isa"
+	"repro/internal/module"
+)
+
+// Register conventions of the emitted templates. Tests preload all
+// operand registers first and then issue the module operations
+// back-to-back, so that the unit-level stimulus matches the trace (no
+// other instructions touch the unit inside the burst).
+var (
+	opndRegs = [maxOpsPerCase][2]isa.Reg{
+		{isa.T0, isa.T1}, {isa.T2, isa.T3}, {isa.T4, isa.T5},
+		{isa.A2, isa.A3}, {isa.A4, isa.A5},
+	}
+	rdRegs  = [maxOpsPerCase]isa.Reg{isa.T6, isa.A6, isa.A7, isa.S2, isa.S3}
+	expReg  = isa.S4
+	tmpReg  = isa.S5
+	caseReg = isa.S1 // current case index, for failure attribution
+)
+
+// ClobberedIntRegs lists every integer register the templates may write;
+// integration wrappers save and restore them.
+func ClobberedIntRegs() []isa.Reg {
+	regs := []isa.Reg{expReg, tmpReg, caseReg}
+	for _, p := range opndRegs {
+		regs = append(regs, p[0], p[1])
+	}
+	return append(regs, rdRegs[:]...)
+}
+
+var aluToISA = map[alu.Op]isa.Op{
+	alu.OpAdd: isa.ADD, alu.OpSub: isa.SUB, alu.OpAnd: isa.AND,
+	alu.OpOr: isa.OR, alu.OpXor: isa.XOR, alu.OpSll: isa.SLL,
+	alu.OpSrl: isa.SRL, alu.OpSra: isa.SRA, alu.OpSlt: isa.SLT,
+	alu.OpSltu: isa.SLTU,
+}
+
+var fpuToISA = map[fpu.Op]isa.Op{
+	fpu.OpFadd: isa.FADDS, fpu.OpFsub: isa.FSUBS, fpu.OpFmul: isa.FMULS,
+	fpu.OpFmin: isa.FMINS, fpu.OpFmax: isa.FMAXS,
+	fpu.OpFle: isa.FLES, fpu.OpFlt: isa.FLTS, fpu.OpFeq: isa.FEQS,
+	fpu.OpFsgnj: isa.FSGNJS, fpu.OpFsgnjn: isa.FSGNJNS, fpu.OpFsgnjx: isa.FSGNJXS,
+	fpu.OpFclass: isa.FCLASSS,
+}
+
+// loadExpected materializes a golden constant through the data memory
+// (constant pool + LW): a check value must not travel through the unit
+// under test, or a systematic fault corrupts the result and its
+// reference identically and the comparison self-cancels.
+func loadExpected(a *isa.Asm, rd isa.Reg, v uint32) {
+	label := fmt.Sprintf("vega_const_%x_%d", a.PC(), a.DataLen())
+	a.Word(label, v)
+	a.LwGlobal(rd, label)
+}
+
+// EmitInto appends the test case to the assembler; on detection the code
+// branches to failLabel.
+func (tc *TestCase) EmitInto(a *isa.Asm, failLabel string) {
+	switch tc.Unit {
+	case "ALU":
+		tc.emitALU(a, failLabel)
+	case "FPU":
+		tc.emitFPU(a, failLabel)
+	default:
+		panic("lift: unknown unit " + tc.Unit)
+	}
+}
+
+func (tc *TestCase) emitALU(a *isa.Asm, failLabel string) {
+	// Preloads.
+	for i, op := range tc.Ops {
+		a.Li(opndRegs[i][0], op.A)
+		a.Li(opndRegs[i][1], op.B)
+	}
+	// Burst.
+	for i, op := range tc.Ops {
+		ra, rb := opndRegs[i][0], opndRegs[i][1]
+		if tc.CoverKind == CoverFlags && i == tc.CoverOp {
+			// Flags faults are observable through branch resolution:
+			// branch in the direction golden flags say must NOT be
+			// taken.
+			eq, lt, ltu := GoldenALUFlags(op.A, op.B)
+			if eq {
+				a.Bne(ra, rb, failLabel)
+			} else {
+				a.Beq(ra, rb, failLabel)
+			}
+			if lt {
+				a.Bge(ra, rb, failLabel)
+			} else {
+				a.Blt(ra, rb, failLabel)
+			}
+			if ltu {
+				a.Bgeu(ra, rb, failLabel)
+			} else {
+				a.Bltu(ra, rb, failLabel)
+			}
+			continue
+		}
+		a.R(aluToISA[alu.Op(op.Op)], rdRegs[i], ra, rb)
+	}
+	// Checks (the conditioning op is activation-only, not checked).
+	for i := range tc.Ops {
+		if tc.CoverKind == CoverFlags && i == tc.CoverOp {
+			continue
+		}
+		if tc.Conditioned && i == 0 {
+			continue
+		}
+		loadExpected(a, expReg, tc.Expected[i].Result)
+		a.Bne(rdRegs[i], expReg, failLabel)
+	}
+}
+
+func (tc *TestCase) emitFPU(a *isa.Asm, failLabel string) {
+	a.Csrrw(isa.Zero, isa.CSRFflags, isa.Zero) // clear sticky flags
+	// Preloads (FMV.W.X does not touch the FPU datapath under test).
+	for i, op := range tc.Ops {
+		fa, fb := fpReg(i, 0), fpReg(i, 1)
+		a.Li(tmpReg, op.A)
+		a.FmvWX(fa, tmpReg)
+		a.Li(tmpReg, op.B)
+		a.FmvWX(fb, tmpReg)
+	}
+	// Burst.
+	for i, op := range tc.Ops {
+		fa, fb := fpReg(i, 0), fpReg(i, 1)
+		o := fpu.Op(op.Op)
+		iop, ok := fpuToISA[o]
+		if !ok {
+			panic(fmt.Sprintf("lift: unmapped FPU op %v", o))
+		}
+		if fpuOpWritesInt(o) {
+			if o == fpu.OpFclass {
+				a.Fclass(rdRegs[i], fa)
+			} else {
+				a.R(iop, rdRegs[i], fa, fb)
+			}
+		} else {
+			a.R(iop, fpResReg(i), fa, fb)
+		}
+	}
+	// Checks (the conditioning op is activation-only, not checked).
+	for i, op := range tc.Ops {
+		if tc.Conditioned && i == 0 {
+			continue
+		}
+		o := fpu.Op(op.Op)
+		if fpuOpWritesInt(o) {
+			loadExpected(a, expReg, tc.Expected[i].Result)
+			a.Bne(rdRegs[i], expReg, failLabel)
+		} else {
+			a.FmvXW(tmpReg, fpResReg(i))
+			loadExpected(a, expReg, tc.Expected[i].Result)
+			a.Bne(tmpReg, expReg, failLabel)
+		}
+	}
+	// Sticky flags check.
+	a.Csrrs(tmpReg, isa.CSRFflags, isa.Zero)
+	loadExpected(a, expReg, stickyFlags(tc))
+	a.Bne(tmpReg, expReg, failLabel)
+}
+
+func fpReg(i, which int) isa.Reg { return isa.Reg(1 + 2*i + which) }
+func fpResReg(i int) isa.Reg     { return isa.Reg(11 + i) }
+
+// Suite is an ordered collection of test cases for one unit.
+type Suite struct {
+	Unit  string
+	Cases []*TestCase
+}
+
+// Image assembles the suite into a standalone program: cases run in
+// order; a detection traps via ebreak with the case index in s1; clean
+// completion exits 0.
+func (s *Suite) Image() *isa.Image {
+	a := isa.NewAsm()
+	s.emitCases(a, "")
+	a.Li(isa.A0, 0)
+	a.Ecall()
+	return a.MustAssemble()
+}
+
+// EmitInto appends the whole suite (without the harness) to an existing
+// assembler, for integration into applications; detections jump to
+// failLabel.
+func (s *Suite) EmitInto(a *isa.Asm, failLabel string) {
+	s.emitCases(a, failLabel)
+}
+
+// emitCases emits every case with a local fail stub (conditional-branch
+// reach is only ±4KiB, so large suites cannot branch to one distant
+// handler). An empty failLabel makes the stub trap in place (ebreak);
+// otherwise it jumps on.
+func (s *Suite) emitCases(a *isa.Asm, failLabel string) {
+	for i, tc := range s.Cases {
+		a.Lui(caseReg, uint32(i)<<12) // LUI bypasses the unit under test
+		localFail := fmt.Sprintf("vega_fail_%d_%x", i, a.PC())
+		next := fmt.Sprintf("vega_next_%d_%x", i, a.PC())
+		tc.EmitInto(a, localFail)
+		a.J(next)
+		a.Label(localFail)
+		if failLabel == "" {
+			a.Ebreak()
+		} else {
+			a.J(failLabel)
+		}
+		a.Label(next)
+	}
+}
+
+// InstCount reports the number of instructions the suite expands to.
+func (s *Suite) InstCount() int {
+	img := s.Image()
+	return len(img.Insts)
+}
+
+// RandomSuite builds the paper's Table 7 baseline: test cases in the
+// style and quantity of Vega's, but each verifying one random operation
+// of the unit with random operands.
+func RandomSuite(m *module.Module, n int, seed int64) *Suite {
+	rng := rand.New(rand.NewSource(seed))
+	var numOps uint32
+	for m.OpValid(numOps) {
+		numOps++
+	}
+	s := &Suite{Unit: m.Name}
+	for i := 0; i < n; i++ {
+		op := rng.Uint32() % numOps
+		var A, B uint32
+		if m.Name == "FPU" {
+			A, B = randFloatBits(rng), randFloatBits(rng)
+		} else {
+			A, B = rng.Uint32(), rng.Uint32()
+		}
+		res, flags := m.Golden(op, A, B)
+		s.Cases = append(s.Cases, &TestCase{
+			Name:      fmt.Sprintf("random_%s_%d", m.Name, i),
+			Unit:      m.Name,
+			Ops:       []OpStim{{Op: op, A: A, B: B}},
+			Expected:  []OpExpect{{Result: res, Flags: flags}},
+			CoverKind: CoverResult,
+		})
+	}
+	return s
+}
+
+func randFloatBits(rng *rand.Rand) uint32 {
+	switch rng.Intn(4) {
+	case 0:
+		// Moderate-exponent normals (the bulk of real operands).
+		return uint32(rng.Intn(2))<<31 | uint32(110+rng.Intn(36))<<23 | uint32(rng.Intn(1<<23))
+	default:
+		return rng.Uint32()
+	}
+}
+
+// FailedCase decodes the failing case index from the trap state (the
+// case register holds index<<12, materialized with LUI so the value
+// cannot be corrupted by the unit under test).
+func FailedCase(s1 uint32) int { return int(s1 >> 12) }

@@ -1,0 +1,165 @@
+package lift
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fault"
+	"repro/internal/module"
+	"repro/internal/netlist"
+	"repro/internal/sta"
+)
+
+// FuzzConfig tunes the fuzzing-based constructor.
+type FuzzConfig struct {
+	// Attempts bounds the random bursts tried per (pair, C) variant
+	// (default 2000).
+	Attempts int
+	// Seed makes runs reproducible.
+	Seed int64
+	// MaxOps is the burst length to explore (default 2 plus the
+	// conditioning op).
+	MaxOps int
+	// Guided biases operand generation to toggle the fault's launching
+	// register between consecutive operations — the paper's idea of
+	// harnessing Aging Analysis insights to filter effective tests
+	// (§6.3). Unguided fuzzing flips coins everywhere.
+	Guided bool
+}
+
+func (c *FuzzConfig) fill() {
+	if c.Attempts == 0 {
+		c.Attempts = 2000
+	}
+	if c.MaxOps == 0 {
+		c.MaxOps = 2
+	}
+}
+
+// FuzzConstruct is the paper's §6.3 alternative Error Lifting backend:
+// instead of proving a trace with the model checker, it fuzzes short
+// operation bursts against the failing netlist and keeps the first burst
+// whose architectural outputs diverge from the golden model. It is
+// cheaper per test than BMC but offers no unreachability verdicts: an
+// exhausted budget reports FormalTimeout ("we do not know"), never
+// Unreachable.
+func FuzzConstruct(m *module.Module, pair sta.Pair, pathType sta.PathType, cfg FuzzConfig) []Result {
+	cfg.fill()
+	var out []Result
+	for _, c := range []fault.CValue{fault.C0, fault.C1} {
+		spec := fault.Spec{Type: pathType, Start: pair.Start, End: pair.End, C: c}
+		out = append(out, fuzzOne(m, spec, cfg))
+	}
+	return out
+}
+
+func fuzzOne(m *module.Module, spec fault.Spec, cfg FuzzConfig) Result {
+	failing := fault.FailingNetlist(m.Netlist, spec)
+	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(spec.Start)<<17 ^ int64(spec.End) ^ int64(spec.C)))
+	var numOps uint32
+	for m.OpValid(numOps) {
+		numOps++
+	}
+
+	// Aging-analysis hint: if X is an operand-register bit, toggling
+	// that exact bit between operations is what arms the failure model.
+	port, bit, hinted := launchOperandBit(m, spec.Start)
+
+	for attempt := 0; attempt < cfg.Attempts; attempt++ {
+		ops := []OpStim{{}} // reset-state conditioning, as in Convert
+		for k := 0; k < cfg.MaxOps; k++ {
+			op := OpStim{Op: rng.Uint32() % numOps, A: rng.Uint32(), B: rng.Uint32()}
+			if cfg.Guided && hinted {
+				// Toggle the launching bit relative to the previous op.
+				prev := ops[len(ops)-1]
+				var prevBit uint32
+				if port == module.PortA {
+					prevBit = prev.A >> bit & 1
+				} else {
+					prevBit = prev.B >> bit & 1
+				}
+				want := prevBit ^ 1
+				if port == module.PortA {
+					op.A = op.A&^(1<<bit) | want<<bit
+				} else {
+					op.B = op.B&^(1<<bit) | want<<bit
+				}
+			}
+			ops = append(ops, op)
+		}
+
+		if coverOp, kind, ok := divergesOn(m, failing, ops); ok {
+			tc := &TestCase{
+				Name:        fmt.Sprintf("%s_fuzz_%s", m.Name, sanitizeName(spec.Name(m.Netlist))),
+				Unit:        m.Name,
+				Spec:        spec,
+				Ops:         ops[:coverOp+1],
+				CoverOp:     coverOp,
+				CoverKind:   kind,
+				Conditioned: true,
+			}
+			for _, op := range tc.Ops {
+				res, flags := m.Golden(op.Op, op.A, op.B)
+				tc.Expected = append(tc.Expected, OpExpect{Result: res, Flags: flags})
+			}
+			// Reuse the formal backend's convertibility filters.
+			var convErr error
+			switch m.Name {
+			case "ALU":
+				convErr = checkALUConvertible(m, tc)
+			case "FPU":
+				convErr = checkFPUConvertible(m, tc)
+			}
+			if convErr != nil {
+				continue // keep fuzzing for a convertible burst
+			}
+			return Result{Spec: spec, Outcome: Success, Case: tc, Reason: fmt.Sprintf("fuzz attempt %d", attempt+1)}
+		}
+	}
+	return Result{Spec: spec, Outcome: FormalTimeout, Reason: "fuzz budget exhausted (no unreachability proof available)"}
+}
+
+// divergesOn executes a burst on the failing netlist and reports the
+// first operation whose result or flags differ from golden (or a stall).
+func divergesOn(m *module.Module, failing *netlist.Netlist, ops []OpStim) (int, CoverKind, bool) {
+	d := module.NewDriverOn(m, failing)
+	for i, op := range ops {
+		res, flags, ok := d.Exec(op.Op, op.A, op.B)
+		if !ok {
+			return i, CoverHandshake, true
+		}
+		wantRes, wantFlags := m.Golden(op.Op, op.A, op.B)
+		if res != wantRes {
+			return i, CoverResult, true
+		}
+		if flags != wantFlags {
+			// Identify the lowest differing flag bit.
+			diff := flags ^ wantFlags
+			bitIdx := 0
+			for diff&1 == 0 {
+				diff >>= 1
+				bitIdx++
+			}
+			return i, CoverFlags, true
+		}
+	}
+	return 0, CoverResult, false
+}
+
+// launchOperandBit reports whether the fault's launching flip-flop is an
+// operand register, and if so which port and bit it captures.
+func launchOperandBit(m *module.Module, ff netlist.CellID) (string, uint, bool) {
+	d := m.Netlist.Cells[ff].In[0]
+	for _, name := range []string{module.PortA, module.PortB} {
+		p, ok := m.Netlist.FindInput(name)
+		if !ok {
+			continue
+		}
+		for i, n := range p.Bits {
+			if n == d {
+				return name, uint(i), true
+			}
+		}
+	}
+	return "", 0, false
+}

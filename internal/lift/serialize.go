@@ -1,0 +1,166 @@
+package lift
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/netlist"
+	"repro/internal/sta"
+)
+
+// The paper's §6.3 envisions a commercial split: the chip manufacturer
+// (who holds the netlist and the aging models) generates the test suite;
+// the data-center operator (who holds neither) deploys it. This file is
+// that hand-off: a suite serializes to a self-contained JSON document
+// with no netlist references beyond stable cell names, and deserializes
+// into a runnable Suite on the operator's side.
+
+// suiteDoc is the wire format.
+type suiteDoc struct {
+	Version int       `json:"version"`
+	Unit    string    `json:"unit"`
+	Cases   []caseDoc `json:"cases"`
+}
+
+type caseDoc struct {
+	Name        string   `json:"name"`
+	PathType    string   `json:"path_type"`
+	StartCell   int32    `json:"start_cell"`
+	EndCell     int32    `json:"end_cell"`
+	CValue      string   `json:"c"`
+	Edge        string   `json:"edge"`
+	Ops         []opDoc  `json:"ops"`
+	Expected    []expDoc `json:"expected"`
+	CoverOp     int      `json:"cover_op"`
+	CoverKind   string   `json:"cover_kind"`
+	FlagsBit    int      `json:"flags_bit,omitempty"`
+	Conditioned bool     `json:"conditioned"`
+}
+
+type opDoc struct {
+	Op uint32 `json:"op"`
+	A  uint32 `json:"a"`
+	B  uint32 `json:"b"`
+}
+
+type expDoc struct {
+	Result uint32 `json:"result"`
+	Flags  uint32 `json:"flags"`
+}
+
+const suiteVersion = 1
+
+var coverKindNames = map[CoverKind]string{
+	CoverResult: "result", CoverFlags: "flags", CoverHandshake: "handshake",
+}
+
+// MarshalJSON serializes the suite for distribution.
+func (s *Suite) MarshalJSON() ([]byte, error) {
+	doc := suiteDoc{Version: suiteVersion, Unit: s.Unit}
+	for _, tc := range s.Cases {
+		cd := caseDoc{
+			Name:        tc.Name,
+			PathType:    tc.Spec.Type.String(),
+			StartCell:   int32(tc.Spec.Start),
+			EndCell:     int32(tc.Spec.End),
+			CValue:      tc.Spec.C.String(),
+			Edge:        tc.Spec.Edge.String(),
+			CoverOp:     tc.CoverOp,
+			CoverKind:   coverKindNames[tc.CoverKind],
+			FlagsBit:    tc.FlagsBit,
+			Conditioned: tc.Conditioned,
+		}
+		for _, op := range tc.Ops {
+			cd.Ops = append(cd.Ops, opDoc(op))
+		}
+		for _, e := range tc.Expected {
+			cd.Expected = append(cd.Expected, expDoc(e))
+		}
+		doc.Cases = append(doc.Cases, cd)
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// UnmarshalJSON restores a suite from its wire format.
+func (s *Suite) UnmarshalJSON(data []byte) error {
+	var doc suiteDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	if doc.Version != suiteVersion {
+		return fmt.Errorf("lift: unsupported suite version %d", doc.Version)
+	}
+	s.Unit = doc.Unit
+	s.Cases = nil
+	for i, cd := range doc.Cases {
+		tc := &TestCase{
+			Name:        cd.Name,
+			Unit:        doc.Unit,
+			CoverOp:     cd.CoverOp,
+			FlagsBit:    cd.FlagsBit,
+			Conditioned: cd.Conditioned,
+		}
+		var ok bool
+		if tc.CoverKind, ok = coverKindByName(cd.CoverKind); !ok {
+			return fmt.Errorf("lift: case %d: unknown cover kind %q", i, cd.CoverKind)
+		}
+		tc.Spec = fault.Spec{
+			Start: cellID(cd.StartCell),
+			End:   cellID(cd.EndCell),
+		}
+		switch cd.PathType {
+		case "setup":
+			tc.Spec.Type = sta.Setup
+		case "hold":
+			tc.Spec.Type = sta.Hold
+		default:
+			return fmt.Errorf("lift: case %d: unknown path type %q", i, cd.PathType)
+		}
+		switch cd.CValue {
+		case "0":
+			tc.Spec.C = fault.C0
+		case "1":
+			tc.Spec.C = fault.C1
+		case "R":
+			tc.Spec.C = fault.CRandom
+		default:
+			return fmt.Errorf("lift: case %d: unknown C %q", i, cd.CValue)
+		}
+		switch cd.Edge {
+		case "any":
+			tc.Spec.Edge = fault.AnyChange
+		case "rise":
+			tc.Spec.Edge = fault.RisingEdge
+		case "fall":
+			tc.Spec.Edge = fault.FallingEdge
+		default:
+			return fmt.Errorf("lift: case %d: unknown edge %q", i, cd.Edge)
+		}
+		if len(cd.Ops) != len(cd.Expected) || len(cd.Ops) == 0 {
+			return fmt.Errorf("lift: case %d: ops/expected mismatch", i)
+		}
+		if cd.CoverOp < 0 || cd.CoverOp >= len(cd.Ops) {
+			return fmt.Errorf("lift: case %d: cover op %d out of range", i, cd.CoverOp)
+		}
+		for _, op := range cd.Ops {
+			tc.Ops = append(tc.Ops, OpStim(op))
+		}
+		for _, e := range cd.Expected {
+			tc.Expected = append(tc.Expected, OpExpect(e))
+		}
+		s.Cases = append(s.Cases, tc)
+	}
+	return nil
+}
+
+func cellID(v int32) netlist.CellID { return netlist.CellID(v) }
+
+func coverKindByName(name string) (CoverKind, bool) {
+	for k, n := range coverKindNames {
+		if n == name {
+			return k, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,78 @@
+package module
+
+import (
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// Driver executes operations on a module's netlist (or on a failing
+// variant of it) through the valid handshake, the way the surrounding CPU
+// pipeline would. It is the bridge used both for golden-vs-netlist
+// equivalence tests and for running lifted test cases against failing
+// netlists.
+type Driver struct {
+	M   *Module
+	Sim *sim.Simulator
+}
+
+// NewDriver drives the module's own netlist.
+func NewDriver(m *Module) *Driver { return NewDriverOn(m, m.Netlist) }
+
+// NewDriverOn drives an alternative netlist (typically a failing netlist
+// produced by failure-model instrumentation) that shares the module's
+// port protocol.
+func NewDriverOn(m *Module, nl *netlist.Netlist) *Driver {
+	return &Driver{M: m, Sim: sim.New(nl)}
+}
+
+// stallLimit is how many cycles past the nominal latency Exec waits for
+// out_valid before declaring the unit hung. A real integration would be a
+// watchdog; the bound only needs to exceed the pipeline depth.
+const stallLimit = 8
+
+// Exec presents one operation and waits for the result. ok=false means
+// the unit never raised out_valid — the stall ("S") failure mode of the
+// paper's Table 6.
+func (d *Driver) Exec(op, a, b uint32) (result, flags uint32, ok bool) {
+	s := d.Sim
+	s.SetInput(PortInValid, 1)
+	s.SetInput(PortOp, uint64(op))
+	s.SetInput(PortA, uint64(a))
+	s.SetInput(PortB, uint64(b))
+	s.Step()
+	s.SetInput(PortInValid, 0)
+	for i := 0; i < d.M.Latency+stallLimit; i++ {
+		if s.Output(PortOutValid) == 1 {
+			return uint32(s.Output(PortResult)), uint32(s.Output(PortFlags)), true
+		}
+		s.Step()
+	}
+	return 0, 0, false
+}
+
+// ExecPipelined presents a stream of back-to-back operations (one per
+// cycle) and collects the results in order. It exercises the pipeline the
+// way a representative workload does during SP profiling. ok=false if
+// fewer results than operations emerged.
+func (d *Driver) ExecPipelined(ops []uint32, as, bs []uint32) (results []uint32, flagsOut []uint32, ok bool) {
+	s := d.Sim
+	total := len(ops)
+	collected := 0
+	for cyc := 0; cyc < total+d.M.Latency+stallLimit && collected < total; cyc++ {
+		if cyc < total {
+			s.SetInput(PortInValid, 1)
+			s.SetInput(PortOp, uint64(ops[cyc]))
+			s.SetInput(PortA, uint64(as[cyc]))
+			s.SetInput(PortB, uint64(bs[cyc]))
+		} else {
+			s.SetInput(PortInValid, 0)
+		}
+		if s.Output(PortOutValid) == 1 {
+			results = append(results, uint32(s.Output(PortResult)))
+			flagsOut = append(flagsOut, uint32(s.Output(PortFlags)))
+			collected++
+		}
+		s.Step()
+	}
+	return results, flagsOut, collected == total
+}

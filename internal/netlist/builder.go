@@ -1,0 +1,366 @@
+package netlist
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cell"
+)
+
+// Builder constructs (or extends) a Netlist. All errors are deferred to
+// Build so circuit-construction code can stay free of error plumbing.
+type Builder struct {
+	name      string
+	cells     []Cell
+	numNets   int
+	inputs    []Port
+	outputs   []Port
+	clockRoot NetID
+	netNames  map[NetID]string
+	errs      []error
+	kindSeq   [cell.NumKinds]int
+}
+
+// NewBuilder returns an empty builder for a module with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, clockRoot: NoNet, netNames: make(map[NetID]string)}
+}
+
+// NewBuilderFrom returns a builder pre-populated with an existing
+// netlist's contents. Net and cell IDs are preserved, so instrumentation
+// passes can reference nets of the original design directly. Output ports
+// start out cleared: instrumentation usually rewires them.
+func NewBuilderFrom(nl *Netlist) *Builder {
+	b := NewBuilder(nl.Name)
+	b.numNets = nl.NumNets
+	b.clockRoot = nl.ClockRoot
+	b.inputs = clonePorts(nl.Inputs)
+	b.cells = make([]Cell, len(nl.Cells))
+	for i, c := range nl.Cells {
+		c.In = append([]NetID(nil), c.In...)
+		b.cells[i] = c
+	}
+	for k, v := range nl.netNames {
+		b.netNames[k] = v
+	}
+	for _, c := range nl.Cells {
+		b.kindSeq[c.Kind]++
+	}
+	return b
+}
+
+func (b *Builder) errf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf(format, args...))
+}
+
+// Net allocates a fresh unnamed net.
+func (b *Builder) Net() NetID {
+	n := NetID(b.numNets)
+	b.numNets++
+	return n
+}
+
+// NamedNet allocates a fresh net with a debug name.
+func (b *Builder) NamedNet(name string) NetID {
+	n := b.Net()
+	b.netNames[n] = name
+	return n
+}
+
+// NewBus allocates width fresh nets.
+func (b *Builder) NewBus(width int) Bus {
+	bus := make(Bus, width)
+	for i := range bus {
+		bus[i] = b.Net()
+	}
+	return bus
+}
+
+// Input declares a 1-bit input port and returns its net.
+func (b *Builder) Input(name string) NetID {
+	n := b.NamedNet(name)
+	b.inputs = append(b.inputs, Port{Name: name, Bits: Bus{n}})
+	return n
+}
+
+// InputBus declares a multi-bit input port and returns its nets (LSB
+// first).
+func (b *Builder) InputBus(name string, width int) Bus {
+	bus := make(Bus, width)
+	for i := range bus {
+		bus[i] = b.NamedNet(fmt.Sprintf("%s[%d]", name, i))
+	}
+	b.inputs = append(b.inputs, Port{Name: name, Bits: bus})
+	return bus
+}
+
+// Output declares a 1-bit output port driving from net n.
+func (b *Builder) Output(name string, n NetID) {
+	b.outputs = append(b.outputs, Port{Name: name, Bits: Bus{n}})
+	if _, named := b.netNames[n]; !named {
+		b.netNames[n] = name
+	}
+}
+
+// OutputBus declares a multi-bit output port.
+func (b *Builder) OutputBus(name string, bits Bus) {
+	b.outputs = append(b.outputs, Port{Name: name, Bits: append(Bus(nil), bits...)})
+	for i, n := range bits {
+		if _, named := b.netNames[n]; !named {
+			b.netNames[n] = fmt.Sprintf("%s[%d]", name, i)
+		}
+	}
+}
+
+// Clock declares the primary clock pin and returns its net. At most one
+// clock root may be declared.
+func (b *Builder) Clock(name string) NetID {
+	if b.clockRoot != NoNet {
+		b.errf("clock root already declared")
+		return b.clockRoot
+	}
+	b.clockRoot = b.NamedNet(name)
+	return b.clockRoot
+}
+
+func (b *Builder) autoName(k cell.Kind) string {
+	b.kindSeq[k]++
+	return fmt.Sprintf("%s$%d", k, b.kindSeq[k])
+}
+
+// Add instantiates a combinational or clock cell with the given inputs and
+// returns its (freshly allocated) output net.
+func (b *Builder) Add(k cell.Kind, in ...NetID) NetID {
+	return b.AddNamed(k, b.autoName(k), in...)
+}
+
+// AddNamed is Add with an explicit instance name.
+func (b *Builder) AddNamed(k cell.Kind, name string, in ...NetID) NetID {
+	if k.IsSequential() {
+		b.errf("cell %s: use AddDFF for flip-flops", name)
+		return b.Net()
+	}
+	if len(in) != k.NumInputs() {
+		b.errf("cell %s (%s): got %d inputs, want %d", name, k, len(in), k.NumInputs())
+	}
+	out := b.Net()
+	b.cells = append(b.cells, Cell{Kind: k, Name: name, In: append([]NetID(nil), in...), Clk: NoNet, Out: out})
+	return out
+}
+
+// AddDFF instantiates a flip-flop sampling d on the rising edge of clk,
+// with the given reset value, and returns its Q net.
+func (b *Builder) AddDFF(d, clk NetID, init bool) NetID {
+	return b.AddDFFNamed(b.autoName(cell.DFF), d, clk, init)
+}
+
+// AddDFFNamed is AddDFF with an explicit instance name.
+func (b *Builder) AddDFFNamed(name string, d, clk NetID, init bool) NetID {
+	out := b.Net()
+	b.cells = append(b.cells, Cell{Kind: cell.DFF, Name: name, In: []NetID{d}, Clk: clk, Out: out, Init: init})
+	return out
+}
+
+// AddRaw instantiates a cell with a caller-chosen output net (which must
+// have been allocated with Net and not be driven elsewhere). It exists
+// for instrumentation passes that pre-allocate nets to wire mutually
+// recursive shadow logic; Build validates the result like any other cell.
+func (b *Builder) AddRaw(k cell.Kind, name string, in []NetID, clk, out NetID, init bool) {
+	b.cells = append(b.cells, Cell{
+		Kind: k, Name: name,
+		In:  append([]NetID(nil), in...),
+		Clk: clk, Out: out, Init: init,
+	})
+}
+
+// RewireInput repoints input pin `pin` of cell cid to read from net n.
+// Used by instrumentation passes on imported netlists.
+func (b *Builder) RewireInput(cid CellID, pin int, n NetID) {
+	if int(cid) >= len(b.cells) || pin >= len(b.cells[cid].In) {
+		b.errf("RewireInput(%d,%d): out of range", cid, pin)
+		return
+	}
+	b.cells[cid].In[pin] = n
+}
+
+// CellOut returns the output net of cell cid as currently built.
+func (b *Builder) CellOut(cid CellID) NetID { return b.cells[cid].Out }
+
+// Cell returns a copy of cell cid as currently built.
+func (b *Builder) Cell(cid CellID) Cell {
+	c := b.cells[cid]
+	c.In = append([]NetID(nil), c.In...)
+	return c
+}
+
+// NumCells reports the number of cells added so far.
+func (b *Builder) NumCells() int { return len(b.cells) }
+
+// Build validates the netlist and computes the derived structures
+// (drivers, topological order). It returns an error if any net is
+// multiply driven or undriven, if a port references an invalid net, or if
+// the combinational logic contains a cycle.
+func (b *Builder) Build() (*Netlist, error) {
+	if len(b.errs) > 0 {
+		return nil, errors.Join(b.errs...)
+	}
+	nl := &Netlist{
+		Name:      b.name,
+		Cells:     b.cells,
+		NumNets:   b.numNets,
+		Inputs:    b.inputs,
+		Outputs:   b.outputs,
+		ClockRoot: b.clockRoot,
+		netNames:  b.netNames,
+	}
+	if err := nl.rebuild(); err != nil {
+		return nil, err
+	}
+	return nl, nil
+}
+
+// MustBuild is Build but panics on error; for circuit constructors whose
+// input space is fully controlled by this repository.
+func (b *Builder) MustBuild() *Netlist {
+	nl, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("netlist %s: %v", b.name, err))
+	}
+	return nl
+}
+
+// rebuild recomputes drivers and the topological order, validating
+// structural invariants.
+func (nl *Netlist) rebuild() error {
+	driver := make([]CellID, nl.NumNets)
+	for i := range driver {
+		driver[i] = NoCell
+	}
+	nl.driver = driver // NetName (used in error messages below) needs it
+	external := make([]bool, nl.NumNets)
+	for _, p := range nl.Inputs {
+		for _, n := range p.Bits {
+			if n < 0 || int(n) >= nl.NumNets {
+				return fmt.Errorf("input port %s references invalid net %d", p.Name, n)
+			}
+			external[n] = true
+		}
+	}
+	if nl.ClockRoot != NoNet {
+		external[nl.ClockRoot] = true
+	}
+	for i, c := range nl.Cells {
+		if c.Out < 0 || int(c.Out) >= nl.NumNets {
+			return fmt.Errorf("cell %s drives invalid net %d", c.Name, c.Out)
+		}
+		if driver[c.Out] != NoCell {
+			return fmt.Errorf("net %s multiply driven by %s and %s",
+				nl.NetName(c.Out), nl.Cells[driver[c.Out]].Name, c.Name)
+		}
+		if external[c.Out] {
+			return fmt.Errorf("cell %s drives primary input net %s", c.Name, nl.NetName(c.Out))
+		}
+		driver[c.Out] = CellID(i)
+	}
+	used := make([]bool, nl.NumNets)
+	for _, c := range nl.Cells {
+		for _, in := range c.In {
+			if in < 0 || int(in) >= nl.NumNets {
+				return fmt.Errorf("cell %s reads invalid net %d", c.Name, in)
+			}
+			used[in] = true
+		}
+		if c.Clk != NoNet {
+			used[c.Clk] = true
+		}
+	}
+	for _, p := range nl.Outputs {
+		for _, n := range p.Bits {
+			if n < 0 || int(n) >= nl.NumNets {
+				return fmt.Errorf("output port %s references invalid net %d", p.Name, n)
+			}
+			used[n] = true
+		}
+	}
+	for n := 0; n < nl.NumNets; n++ {
+		if used[n] && driver[NetID(n)] == NoCell && !external[n] {
+			return fmt.Errorf("net %s is read but never driven", nl.NetName(NetID(n)))
+		}
+	}
+	nl.driver = driver
+
+	// Levelize combinational + clock cells with Kahn's algorithm. A cell
+	// depends on the drivers of its input pins (and, for clock cells, the
+	// clock pin is In[0] so it is covered); DFF outputs and primary inputs
+	// are sources.
+	indeg := make([]int, len(nl.Cells))
+	readers := make([][]CellID, nl.NumNets) // only pins that create ordering edges
+	queue := make([]CellID, 0, len(nl.Cells))
+	for i, c := range nl.Cells {
+		if c.Kind.IsSequential() {
+			continue
+		}
+		deg := 0
+		for _, in := range c.In {
+			if d := driver[in]; d != NoCell && !nl.Cells[d].Kind.IsSequential() {
+				deg++
+				readers[in] = append(readers[in], CellID(i))
+			}
+		}
+		indeg[i] = deg
+		if deg == 0 {
+			queue = append(queue, CellID(i))
+		}
+	}
+	var topo []CellID
+	for len(queue) > 0 {
+		cid := queue[0]
+		queue = queue[1:]
+		topo = append(topo, cid)
+		for _, r := range readers[nl.Cells[cid].Out] {
+			indeg[r]--
+			if indeg[r] == 0 {
+				queue = append(queue, r)
+			}
+		}
+	}
+	want := 0
+	for _, c := range nl.Cells {
+		if !c.Kind.IsSequential() {
+			want++
+		}
+	}
+	if len(topo) != want {
+		var stuck []string
+		for i, d := range indeg {
+			if d > 0 && !nl.Cells[i].Kind.IsSequential() {
+				stuck = append(stuck, nl.Cells[i].Name)
+				if len(stuck) >= 8 {
+					break
+				}
+			}
+		}
+		return fmt.Errorf("combinational cycle involving %v", stuck)
+	}
+	nl.topo = topo
+	return nil
+}
+
+// declareInput registers pre-allocated nets as an input port (used by
+// the Verilog parser, which discovers nets before ports).
+func (b *Builder) declareInput(name string, bits Bus) {
+	for i, n := range bits {
+		if _, named := b.netNames[n]; !named {
+			b.netNames[n] = fmt.Sprintf("%s[%d]", name, i)
+		}
+	}
+	b.inputs = append(b.inputs, Port{Name: name, Bits: append(Bus(nil), bits...)})
+}
+
+// declareClock registers a pre-allocated net as the clock root.
+func (b *Builder) declareClock(name string, n NetID) {
+	if _, named := b.netNames[n]; !named {
+		b.netNames[n] = name
+	}
+	b.clockRoot = n
+}

@@ -1,0 +1,147 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cell"
+)
+
+// Verilog renders the netlist as a structural Verilog-2001 module. The
+// output is what the paper calls a "failing netlist" deliverable when the
+// netlist carries an instrumented failure model: a simulatable,
+// synthesizable gate-level description.
+func (nl *Netlist) Verilog() string {
+	var b strings.Builder
+	var portNames []string
+	if nl.ClockRoot != NoNet {
+		portNames = append(portNames, nl.NetName(nl.ClockRoot))
+	}
+	for _, p := range nl.Inputs {
+		portNames = append(portNames, p.Name)
+	}
+	for _, p := range nl.Outputs {
+		portNames = append(portNames, p.Name)
+	}
+	fmt.Fprintf(&b, "module %s (%s);\n", sanitize(nl.Name), strings.Join(portNames, ", "))
+	if nl.ClockRoot != NoNet {
+		fmt.Fprintf(&b, "  input wire %s;\n", nl.NetName(nl.ClockRoot))
+	}
+	for _, p := range nl.Inputs {
+		fmt.Fprintf(&b, "  input wire %s %s;\n", rangeDecl(len(p.Bits)), p.Name)
+	}
+	for _, p := range nl.Outputs {
+		fmt.Fprintf(&b, "  output wire %s %s;\n", rangeDecl(len(p.Bits)), p.Name)
+	}
+	fmt.Fprintf(&b, "  wire [%d:0] n;\n", nl.NumNets-1)
+	// Tie port nets to the flat wire vector.
+	if nl.ClockRoot != NoNet {
+		fmt.Fprintf(&b, "  assign n[%d] = %s;\n", nl.ClockRoot, nl.NetName(nl.ClockRoot))
+	}
+	for _, p := range nl.Inputs {
+		for i, net := range p.Bits {
+			fmt.Fprintf(&b, "  assign n[%d] = %s[%d];\n", net, p.Name, i)
+		}
+	}
+	for _, p := range nl.Outputs {
+		for i, net := range p.Bits {
+			fmt.Fprintf(&b, "  assign %s[%d] = n[%d];\n", p.Name, i, net)
+		}
+	}
+	for _, c := range nl.Cells {
+		b.WriteString("  ")
+		b.WriteString(cellVerilog(c))
+		b.WriteByte('\n')
+	}
+	b.WriteString("endmodule\n")
+	return b.String()
+}
+
+func rangeDecl(width int) string {
+	return fmt.Sprintf("[%d:0]", width-1)
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+func cellVerilog(c Cell) string {
+	n := func(id NetID) string { return fmt.Sprintf("n[%d]", id) }
+	switch c.Kind {
+	case cell.TIE0:
+		return fmt.Sprintf("assign %s = 1'b0; // %s", n(c.Out), c.Name)
+	case cell.TIE1:
+		return fmt.Sprintf("assign %s = 1'b1; // %s", n(c.Out), c.Name)
+	case cell.BUF:
+		return fmt.Sprintf("assign %s = %s; // %s", n(c.Out), n(c.In[0]), c.Name)
+	case cell.INV:
+		return fmt.Sprintf("assign %s = ~%s; // %s", n(c.Out), n(c.In[0]), c.Name)
+	case cell.AND2:
+		return fmt.Sprintf("assign %s = %s & %s; // %s", n(c.Out), n(c.In[0]), n(c.In[1]), c.Name)
+	case cell.OR2:
+		return fmt.Sprintf("assign %s = %s | %s; // %s", n(c.Out), n(c.In[0]), n(c.In[1]), c.Name)
+	case cell.NAND2:
+		return fmt.Sprintf("assign %s = ~(%s & %s); // %s", n(c.Out), n(c.In[0]), n(c.In[1]), c.Name)
+	case cell.NOR2:
+		return fmt.Sprintf("assign %s = ~(%s | %s); // %s", n(c.Out), n(c.In[0]), n(c.In[1]), c.Name)
+	case cell.XOR2:
+		return fmt.Sprintf("assign %s = %s ^ %s; // %s", n(c.Out), n(c.In[0]), n(c.In[1]), c.Name)
+	case cell.XNOR2:
+		return fmt.Sprintf("assign %s = ~(%s ^ %s); // %s", n(c.Out), n(c.In[0]), n(c.In[1]), c.Name)
+	case cell.MUX2:
+		return fmt.Sprintf("assign %s = %s ? %s : %s; // %s", n(c.Out), n(c.In[2]), n(c.In[1]), n(c.In[0]), c.Name)
+	case cell.AOI21:
+		return fmt.Sprintf("assign %s = ~((%s & %s) | %s); // %s", n(c.Out), n(c.In[0]), n(c.In[1]), n(c.In[2]), c.Name)
+	case cell.OAI21:
+		return fmt.Sprintf("assign %s = ~((%s | %s) & %s); // %s", n(c.Out), n(c.In[0]), n(c.In[1]), n(c.In[2]), c.Name)
+	case cell.DFF:
+		init := "1'b0"
+		if c.Init {
+			init = "1'b1"
+		}
+		return fmt.Sprintf("dff #(.INIT(%s)) %s (.clk(%s), .d(%s), .q(%s));",
+			init, sanitize(c.Name), n(c.Clk), n(c.In[0]), n(c.Out))
+	case cell.CLKBUF:
+		return fmt.Sprintf("assign %s = %s; // clkbuf %s", n(c.Out), n(c.In[0]), c.Name)
+	case cell.CLKGATE:
+		return fmt.Sprintf("assign %s = %s & %s; // clkgate %s", n(c.Out), n(c.In[0]), n(c.In[1]), c.Name)
+	}
+	return "// unknown cell " + c.Name
+}
+
+// DOT renders the netlist in Graphviz dot format for visual debugging.
+func (nl *Netlist) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n  rankdir=LR;\n", sanitize(nl.Name))
+	for i, c := range nl.Cells {
+		shape := "box"
+		if c.Kind.IsSequential() {
+			shape = "Msquare"
+		} else if c.Kind.IsClock() {
+			shape = "triangle"
+		}
+		fmt.Fprintf(&b, "  c%d [label=%q shape=%s];\n", i, c.Name, shape)
+	}
+	readers := nl.Readers()
+	for n := 0; n < nl.NumNets; n++ {
+		d := nl.driver[n]
+		if d == NoCell {
+			continue
+		}
+		rs := append([]CellID(nil), readers[n]...)
+		sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+		for _, r := range rs {
+			fmt.Fprintf(&b, "  c%d -> c%d [label=%q];\n", d, r, nl.NetName(NetID(n)))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,323 @@
+package netlist
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/cell"
+)
+
+// ParseVerilog reads back a structural module in the dialect produced by
+// (*Netlist).Verilog — the format this repository ships failing netlists
+// in — and reconstructs the netlist. Together with Verilog() it gives a
+// lossless round trip for every cell kind, port, clock connection and
+// DFF reset value, so failure models exported as circuit-level artifacts
+// (§3.3.2) can be reloaded and simulated.
+func ParseVerilog(src string) (*Netlist, error) {
+	p := &vparser{b: NewBuilder("")}
+	for ln, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "//") {
+			continue
+		}
+		if err := p.line(line); err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+	}
+	if !p.done {
+		return nil, fmt.Errorf("missing endmodule")
+	}
+	return p.finish()
+}
+
+type vparser struct {
+	b    *Builder
+	name string
+	done bool
+
+	// netOf maps "n[i]" indices to builder nets (allocated on first use).
+	nets map[int]NetID
+	// port bit nets by "name[i]".
+	portBits map[string]NetID
+	inputs   []parsedPort
+	outputs  []parsedPort
+	clock    string
+
+	// output-side assigns: port bit -> flat net (resolved at finish).
+	outAssigns map[string]int
+
+	cells int
+}
+
+type parsedPort struct {
+	name  string
+	width int
+}
+
+var (
+	reModule  = regexp.MustCompile(`^module\s+(\w+)\s*\(`)
+	reInput   = regexp.MustCompile(`^input wire (?:\[(\d+):0\] )?(\w+);$`)
+	reOutput  = regexp.MustCompile(`^output wire (?:\[(\d+):0\] )?(\w+);$`)
+	reWire    = regexp.MustCompile(`^wire \[(\d+):0\] n;$`)
+	reAssign  = regexp.MustCompile(`^assign (.+?) = (.+?);(?:\s*//\s*(.*))?$`)
+	reDFF     = regexp.MustCompile(`^dff #\(\.INIT\(1'b([01])\)\) (\w+) \(\.clk\(n\[(\d+)\]\), \.d\(n\[(\d+)\]\), \.q\(n\[(\d+)\]\)\);$`)
+	reNetRef  = regexp.MustCompile(`^n\[(\d+)\]$`)
+	rePortRef = regexp.MustCompile(`^(\w+)\[(\d+)\]$`)
+)
+
+func (p *vparser) net(idx int) NetID {
+	if p.nets == nil {
+		p.nets = make(map[int]NetID)
+	}
+	if n, ok := p.nets[idx]; ok {
+		return n
+	}
+	n := p.b.Net()
+	p.nets[idx] = n
+	return n
+}
+
+func (p *vparser) line(line string) error {
+	switch {
+	case reModule.MatchString(line):
+		p.name = reModule.FindStringSubmatch(line)[1]
+		return nil
+	case line == "endmodule":
+		p.done = true
+		return nil
+	case reWire.MatchString(line):
+		return nil // flat wire vector declaration; nets allocated lazily
+	}
+	if m := reInput.FindStringSubmatch(line); m != nil {
+		width := 1
+		if m[1] != "" {
+			hi, _ := strconv.Atoi(m[1])
+			width = hi + 1
+		}
+		p.inputs = append(p.inputs, parsedPort{m[2], width})
+		return nil
+	}
+	if m := reOutput.FindStringSubmatch(line); m != nil {
+		width := 1
+		if m[1] != "" {
+			hi, _ := strconv.Atoi(m[1])
+			width = hi + 1
+		}
+		p.outputs = append(p.outputs, parsedPort{m[2], width})
+		return nil
+	}
+	if m := reDFF.FindStringSubmatch(line); m != nil {
+		init := m[1] == "1"
+		clk, _ := strconv.Atoi(m[3])
+		d, _ := strconv.Atoi(m[4])
+		q, _ := strconv.Atoi(m[5])
+		p.b.AddRaw(cell.DFF, m[2], []NetID{p.net(d)}, p.net(clk), p.net(q), init)
+		p.cells++
+		return nil
+	}
+	if m := reAssign.FindStringSubmatch(line); m != nil {
+		return p.assign(strings.TrimSpace(m[1]), strings.TrimSpace(m[2]), strings.TrimSpace(m[3]))
+	}
+	return fmt.Errorf("unrecognized construct %q", line)
+}
+
+// assign handles both the port-tie assigns and the combinational cells.
+func (p *vparser) assign(lhs, rhs, comment string) error {
+	nm := reNetRef.FindStringSubmatch(lhs)
+	if nm == nil {
+		// Output tie: name[i] = n[k].
+		if pm := rePortRef.FindStringSubmatch(lhs); pm != nil {
+			rm := reNetRef.FindStringSubmatch(rhs)
+			if rm == nil {
+				return fmt.Errorf("output assign rhs %q", rhs)
+			}
+			if p.outAssigns == nil {
+				p.outAssigns = make(map[string]int)
+			}
+			idx, _ := strconv.Atoi(rm[1])
+			p.outAssigns[lhs] = idx
+			return nil
+		}
+		return fmt.Errorf("assign lhs %q", lhs)
+	}
+	outIdx, _ := strconv.Atoi(nm[1])
+
+	// Input tie: n[k] = portname or portname[i].
+	if !strings.ContainsAny(rhs, "&|^~?'") {
+		if reNetRef.MatchString(rhs) {
+			// n[a] = n[b]: a BUF or CLKBUF (comment disambiguates).
+			in, _ := strconv.Atoi(reNetRef.FindStringSubmatch(rhs)[1])
+			kind := cell.BUF
+			if strings.HasPrefix(comment, "clkbuf") {
+				kind = cell.CLKBUF
+			}
+			p.addComb(kind, comment, outIdx, in)
+			return nil
+		}
+		// Port bit (or scalar port, e.g. the clock).
+		if p.portBits == nil {
+			p.portBits = make(map[string]NetID)
+		}
+		p.portBits[rhs] = p.net(outIdx)
+		return nil
+	}
+
+	in := func(s string) (int, error) {
+		m := reNetRef.FindStringSubmatch(strings.TrimSpace(s))
+		if m == nil {
+			return 0, fmt.Errorf("operand %q", s)
+		}
+		return strconv.Atoi(m[1])
+	}
+
+	switch {
+	case rhs == "1'b0":
+		p.b.AddRaw(cell.TIE0, name(comment, p.cells), nil, NoNet, p.net(outIdx), false)
+	case rhs == "1'b1":
+		p.b.AddRaw(cell.TIE1, name(comment, p.cells), nil, NoNet, p.net(outIdx), false)
+	case strings.Contains(rhs, "?"):
+		// s ? b : a
+		var s, bb, aa int
+		if _, err := fmt.Sscanf(strings.ReplaceAll(rhs, " ", ""), "n[%d]?n[%d]:n[%d]", &s, &bb, &aa); err != nil {
+			return fmt.Errorf("mux %q: %w", rhs, err)
+		}
+		p.addComb(cell.MUX2, comment, outIdx, aa, bb, s)
+	case strings.HasPrefix(rhs, "~((") && strings.Contains(rhs, "&") && strings.Contains(rhs, "|"):
+		var a, b2, c int
+		clean := strings.ReplaceAll(rhs, " ", "")
+		if _, err := fmt.Sscanf(clean, "~((n[%d]&n[%d])|n[%d])", &a, &b2, &c); err == nil {
+			p.addComb(cell.AOI21, comment, outIdx, a, b2, c)
+		} else if _, err := fmt.Sscanf(clean, "~((n[%d]|n[%d])&n[%d])", &a, &b2, &c); err == nil {
+			p.addComb(cell.OAI21, comment, outIdx, a, b2, c)
+		} else {
+			return fmt.Errorf("aoi/oai %q", rhs)
+		}
+	case strings.HasPrefix(rhs, "~("):
+		inner := strings.TrimSuffix(strings.TrimPrefix(rhs, "~("), ")")
+		for opStr, kind := range map[string]cell.Kind{"&": cell.NAND2, "|": cell.NOR2, "^": cell.XNOR2} {
+			parts := strings.Split(inner, opStr)
+			if len(parts) == 2 {
+				a, err1 := in(parts[0])
+				b2, err2 := in(parts[1])
+				if err1 == nil && err2 == nil {
+					p.addComb(kind, comment, outIdx, a, b2)
+					return nil
+				}
+			}
+		}
+		return fmt.Errorf("negated gate %q", rhs)
+	case strings.HasPrefix(rhs, "~"):
+		a, err := in(rhs[1:])
+		if err != nil {
+			return err
+		}
+		p.addComb(cell.INV, comment, outIdx, a)
+	default:
+		for opStr, kind := range map[string]cell.Kind{"&": cell.AND2, "|": cell.OR2, "^": cell.XOR2} {
+			parts := strings.Split(rhs, opStr)
+			if len(parts) == 2 {
+				a, err1 := in(parts[0])
+				b2, err2 := in(parts[1])
+				if err1 == nil && err2 == nil {
+					kind2 := kind
+					if kind == cell.AND2 && strings.HasPrefix(comment, "clkgate") {
+						kind2 = cell.CLKGATE
+					}
+					p.addComb(kind2, comment, outIdx, a, b2)
+					return nil
+				}
+			}
+		}
+		return fmt.Errorf("gate %q", rhs)
+	}
+	return nil
+}
+
+func name(comment string, seq int) string {
+	c := strings.TrimSpace(comment)
+	for _, prefix := range []string{"clkbuf ", "clkgate "} {
+		c = strings.TrimPrefix(c, prefix)
+	}
+	if c == "" {
+		return fmt.Sprintf("cell$%d", seq)
+	}
+	return c
+}
+
+func (p *vparser) addComb(kind cell.Kind, comment string, out int, ins ...int) {
+	nets := make([]NetID, len(ins))
+	for i, n := range ins {
+		nets[i] = p.net(n)
+	}
+	p.b.AddRaw(kind, name(comment, p.cells), nets, NoNet, p.net(out), false)
+	p.cells++
+}
+
+// finish wires ports and validates.
+func (p *vparser) finish() (*Netlist, error) {
+	// The first scalar input is the clock by convention of Verilog().
+	declared := func(name string, width int) (Bus, error) {
+		bus := make(Bus, width)
+		for i := range bus {
+			key := fmt.Sprintf("%s[%d]", name, i)
+			if width == 1 {
+				if n, ok := p.portBits[name]; ok {
+					bus[i] = n
+					continue
+				}
+			}
+			n, ok := p.portBits[key]
+			if !ok {
+				// Unreferenced input bit: allocate a dangling net.
+				n = p.b.Net()
+			}
+			bus[i] = n
+		}
+		return bus, nil
+	}
+
+	clockDone := false
+	for _, in := range p.inputs {
+		if !clockDone && in.width == 1 && (in.name == "clk" || p.clockIsh(in.name)) {
+			// Clock: the net tied from it is the clock root.
+			n, ok := p.portBits[in.name]
+			if !ok {
+				n = p.b.Net()
+			}
+			p.b.declareClock(in.name, n)
+			clockDone = true
+			continue
+		}
+		bus, err := declared(in.name, in.width)
+		if err != nil {
+			return nil, err
+		}
+		p.b.declareInput(in.name, bus)
+	}
+	for _, out := range p.outputs {
+		bus := make(Bus, out.width)
+		for i := range bus {
+			key := fmt.Sprintf("%s[%d]", out.name, i)
+			idx, ok := p.outAssigns[key]
+			if !ok {
+				return nil, fmt.Errorf("output bit %s never assigned", key)
+			}
+			bus[i] = p.net(idx)
+		}
+		p.b.OutputBus(out.name, bus)
+	}
+	nl, err := p.b.Build()
+	if err != nil {
+		return nil, err
+	}
+	nl.Name = p.name
+	return nl, nil
+}
+
+// clockIsh heuristically treats a 1-bit input read only by clock cells
+// and DFF clock pins as the clock.
+func (p *vparser) clockIsh(portName string) bool {
+	return strings.Contains(portName, "clk") || strings.Contains(portName, "clock")
+}

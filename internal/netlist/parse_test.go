@@ -1,0 +1,84 @@
+package netlist
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+)
+
+// roundTrip exports nl to Verilog, parses it back, and structurally
+// compares cell-kind counts and port shapes.
+func roundTrip(t *testing.T, nl *Netlist) *Netlist {
+	t.Helper()
+	src := nl.Verilog()
+	back, err := ParseVerilog(src)
+	if err != nil {
+		t.Fatalf("ParseVerilog: %v\n%s", err, src)
+	}
+	for k := cell.Kind(0); int(k) < cell.NumKinds; k++ {
+		if nl.CountKind(k) != back.CountKind(k) {
+			t.Errorf("kind %v: %d cells exported, %d parsed", k, nl.CountKind(k), back.CountKind(k))
+		}
+	}
+	if len(back.Inputs) != len(nl.Inputs) || len(back.Outputs) != len(nl.Outputs) {
+		t.Errorf("port counts differ: in %d/%d out %d/%d",
+			len(back.Inputs), len(nl.Inputs), len(back.Outputs), len(nl.Outputs))
+	}
+	if (nl.ClockRoot == NoNet) != (back.ClockRoot == NoNet) {
+		t.Error("clock root presence differs")
+	}
+	return back
+}
+
+func TestParseRoundTripAdder(t *testing.T) {
+	roundTrip(t, buildDemoAdder(t))
+}
+
+func TestParseRoundTripGatesAndMux(t *testing.T) {
+	b := NewBuilder("gates")
+	clk := b.Clock("clk")
+	x := b.Input("x")
+	y := b.Input("y")
+	s := b.Input("s")
+	outs := Bus{
+		b.Add(cell.AND2, x, y), b.Add(cell.OR2, x, y), b.Add(cell.XOR2, x, y),
+		b.Add(cell.NAND2, x, y), b.Add(cell.NOR2, x, y), b.Add(cell.XNOR2, x, y),
+		b.Add(cell.INV, x), b.Add(cell.BUF, y),
+		b.Add(cell.MUX2, x, y, s),
+		b.Add(cell.AOI21, x, y, s), b.Add(cell.OAI21, x, y, s),
+		b.Add(cell.TIE0), b.Add(cell.TIE1),
+	}
+	g := b.Add(cell.CLKGATE, clk, s)
+	q := b.AddDFFNamed("state", outs[0], g, true)
+	outs = append(outs, q)
+	b.OutputBus("o", outs)
+	nl := b.MustBuild()
+	back := roundTrip(t, nl)
+	// DFF init preserved.
+	for _, c := range back.Cells {
+		if c.Kind == cell.DFF && !c.Init {
+			t.Error("DFF reset value lost")
+		}
+	}
+}
+
+func TestParseRoundTripBehaviour(t *testing.T) {
+	// Functional equivalence under simulation is checked in the sim
+	// package tests (import cycle here); structurally compare the wiring
+	// instead: every parsed cell must have in-range nets and the netlist
+	// must levelize (Build already guarantees both).
+	nl := buildDemoAdder(t)
+	back := roundTrip(t, nl)
+	if len(back.Topo()) != len(nl.Topo()) {
+		t.Errorf("topo sizes differ: %d vs %d", len(back.Topo()), len(nl.Topo()))
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := ParseVerilog("module x (a);\nwat;\nendmodule\n"); err == nil {
+		t.Error("garbage line accepted")
+	}
+	if _, err := ParseVerilog("module x (a);\n"); err == nil {
+		t.Error("missing endmodule accepted")
+	}
+}

@@ -1,0 +1,72 @@
+package profile
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestLeadersAndStatic(t *testing.T) {
+	a := isa.NewAsm()
+	a.Li(isa.T0, 3) // 1 inst (small imm)
+	a.Label("loop")
+	a.Addi(isa.T0, isa.T0, -1)
+	a.Bnez(isa.T0, "loop")
+	a.Li(isa.A0, 0)
+	a.Ecall()
+	img := a.MustAssemble()
+	leaders := Leaders(img)
+	// Leaders: entry (0), loop target (1), after-branch (3).
+	want := []int{0, 1, 3}
+	if len(leaders) != len(want) {
+		t.Fatalf("leaders = %v", leaders)
+	}
+	for i := range want {
+		if leaders[i] != want[i] {
+			t.Fatalf("leaders = %v, want %v", leaders, want)
+		}
+	}
+	p := Static(img)
+	if len(p.Blocks) != 3 {
+		t.Fatalf("blocks = %d", len(p.Blocks))
+	}
+	if p.Blocks[1].Insts != 2 {
+		t.Errorf("loop block size = %d, want 2", p.Blocks[1].Insts)
+	}
+}
+
+func TestCollectCounts(t *testing.T) {
+	a := isa.NewAsm()
+	a.Li(isa.T0, 5)
+	a.Label("loop")
+	a.Addi(isa.T0, isa.T0, -1)
+	a.Bnez(isa.T0, "loop")
+	a.Li(isa.A0, 0)
+	a.Ecall()
+	img := a.MustAssemble()
+	p := Collect(img, 1<<20, 1_000_000)
+	if p == nil {
+		t.Fatal("collect failed")
+	}
+	var loopCount uint64
+	for _, b := range p.Blocks {
+		if b.StartI == 1 {
+			loopCount = b.Count
+		}
+	}
+	if loopCount != 5 {
+		t.Errorf("loop executed %d times, want 5", loopCount)
+	}
+	if p.TotalInsts == 0 || p.TotalCycles < p.TotalInsts {
+		t.Errorf("totals wrong: %d insts %d cycles", p.TotalInsts, p.TotalCycles)
+	}
+}
+
+func TestCollectFailure(t *testing.T) {
+	a := isa.NewAsm()
+	a.Ebreak()
+	img := a.MustAssemble()
+	if Collect(img, 1<<20, 1000) != nil {
+		t.Error("non-exiting program must yield nil profile")
+	}
+}

@@ -1,0 +1,105 @@
+// Package report renders the experiment results as fixed-width text
+// tables and histograms, in the shape of the paper's tables and figures.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Table renders rows of cells with a header, padding columns to fit.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	var sep []string
+	for _, w := range widths {
+		sep = append(sep, strings.Repeat("-", w))
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Histogram renders Figure-8-style bins as a bar chart.
+func Histogram(bins []core.HistogramBin, width int) string {
+	var b strings.Builder
+	maxFrac := 0.0
+	for _, bin := range bins {
+		if bin.Frac > maxFrac {
+			maxFrac = bin.Frac
+		}
+	}
+	if maxFrac == 0 {
+		return "(empty)\n"
+	}
+	for _, bin := range bins {
+		bar := int(bin.Frac / maxFrac * float64(width))
+		fmt.Fprintf(&b, "%5.2f%%-%5.2f%% | %-*s %5.1f%% (%d cells)\n",
+			bin.LoPct, bin.HiPct, width, strings.Repeat("#", bar), bin.Frac*100, bin.Count)
+	}
+	return b.String()
+}
+
+// Bars renders Figure-9-style labeled value bars (values in percent,
+// which may be negative).
+func Bars(labels []string, values []float64, width int) string {
+	maxAbs := 0.0
+	for _, v := range values {
+		if a := abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	wLabel := 0
+	for _, l := range labels {
+		if len(l) > wLabel {
+			wLabel = len(l)
+		}
+	}
+	var b strings.Builder
+	for i, v := range values {
+		bar := int(abs(v) / maxAbs * float64(width))
+		sign := ""
+		if v < 0 {
+			sign = "-"
+		}
+		fmt.Fprintf(&b, "%-*s | %s%-*s %+.3f%%\n", wLabel, labels[i], sign, width, strings.Repeat("#", bar), v)
+	}
+	return b.String()
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Pct formats a percentage cell.
+func Pct(v float64) string { return fmt.Sprintf("%.1f", v) }

@@ -1,0 +1,71 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"Unit", "Value"}, [][]string{
+		{"ALU", "1"},
+		{"FPU", "12345"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	// All rows share the same width.
+	for _, l := range lines[1:] {
+		if len(l) != len(lines[1]) {
+			t.Errorf("ragged table: %q vs %q", l, lines[1])
+		}
+	}
+	if !strings.HasPrefix(lines[0], "Unit") {
+		t.Error("header missing")
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Error("separator missing")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	bins := []core.HistogramBin{
+		{LoPct: 1, HiPct: 2, Count: 10, Frac: 0.25},
+		{LoPct: 2, HiPct: 3, Count: 30, Frac: 0.75},
+	}
+	out := Histogram(bins, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	// The dominant bin gets the full bar.
+	if !strings.Contains(lines[1], strings.Repeat("#", 20)) {
+		t.Error("dominant bin not full width")
+	}
+	if strings.Count(lines[0], "#") >= strings.Count(lines[1], "#") {
+		t.Error("bar heights not proportional")
+	}
+	if Histogram(nil, 10) != "(empty)\n" {
+		t.Error("empty histogram not handled")
+	}
+}
+
+func TestBarsNegativeValues(t *testing.T) {
+	out := Bars([]string{"a", "b"}, []float64{1.0, -0.5}, 10)
+	if !strings.Contains(out, "+1.000%") || !strings.Contains(out, "-0.500%") {
+		t.Errorf("values missing:\n%s", out)
+	}
+	if !strings.Contains(out, "-#") {
+		t.Error("negative bar not marked")
+	}
+	// All-zero input must not divide by zero.
+	_ = Bars([]string{"z"}, []float64{0}, 10)
+}
+
+func TestPct(t *testing.T) {
+	if Pct(33.333) != "33.3" {
+		t.Errorf("Pct = %q", Pct(33.333))
+	}
+}

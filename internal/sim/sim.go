@@ -1,0 +1,293 @@
+// Package sim implements a cycle-accurate, two-phase logic simulator for
+// netlists: in each cycle the combinational logic settles in topological
+// order, signal-probability counters sample every net, and then the
+// rising clock edge updates all flip-flops whose (possibly gated) clock is
+// enabled.
+//
+// The SP counters reproduce the paper's Signal Probability Simulation
+// (§3.2.1): a counter attached to every cell output, driven by a
+// free-running clock that keeps ticking even when the circuit's own clock
+// is gated off. In this simulator the free-running clock is the Step()
+// call itself, so gated-off cells still accumulate residency every cycle.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// Simulator simulates one netlist instance. It is not safe for concurrent
+// use; create one per goroutine.
+type Simulator struct {
+	nl     *netlist.Netlist
+	vals   []bool // current value of every net
+	next   []bool // staged DFF outputs
+	dirty  bool   // inputs changed since last settle
+	cycles uint64
+
+	spEnabled bool
+	spOnes    []float64 // per net: accumulated logical-"1" residency
+
+	recordNets []netlist.NetID
+	waves      [][]bool
+
+	clockNetCache []bool
+}
+
+// New creates a simulator in the reset state: all DFFs hold their Init
+// value and all primary inputs are 0.
+func New(nl *netlist.Netlist) *Simulator {
+	s := &Simulator{
+		nl:   nl,
+		vals: make([]bool, nl.NumNets),
+		next: make([]bool, nl.NumNets),
+	}
+	s.Reset()
+	return s
+}
+
+// Netlist returns the simulated design.
+func (s *Simulator) Netlist() *netlist.Netlist { return s.nl }
+
+// Reset re-applies reset values to all flip-flops, clears inputs, and
+// zeroes the cycle counter. SP counters and recorded waveforms are
+// preserved so multi-run profiles can accumulate; call ResetSP to clear
+// them.
+func (s *Simulator) Reset() {
+	for i := range s.vals {
+		s.vals[i] = false
+	}
+	if s.nl.ClockRoot != netlist.NoNet {
+		s.vals[s.nl.ClockRoot] = true // clock enabled
+	}
+	for _, c := range s.nl.Cells {
+		if c.Kind == cell.DFF {
+			s.vals[c.Out] = c.Init
+		}
+	}
+	s.cycles = 0
+	s.dirty = true
+}
+
+// EnableSP turns on signal-probability accumulation.
+func (s *Simulator) EnableSP() {
+	s.spEnabled = true
+	if s.spOnes == nil {
+		s.spOnes = make([]float64, s.nl.NumNets)
+	}
+}
+
+// ResetSP clears accumulated SP counters.
+func (s *Simulator) ResetSP() {
+	for i := range s.spOnes {
+		s.spOnes[i] = 0
+	}
+}
+
+// Record registers nets whose settled value is captured every cycle.
+func (s *Simulator) Record(nets ...netlist.NetID) {
+	s.recordNets = append(s.recordNets, nets...)
+}
+
+// Waves returns the recorded waveform: one row per executed cycle, one
+// column per recorded net (in Record order).
+func (s *Simulator) Waves() [][]bool { return s.waves }
+
+// Cycles returns the number of executed clock cycles.
+func (s *Simulator) Cycles() uint64 { return s.cycles }
+
+// SetInput drives a (multi-bit) input port with the low len(port) bits of
+// val, LSB first.
+func (s *Simulator) SetInput(name string, val uint64) {
+	p, ok := s.nl.FindInput(name)
+	if !ok {
+		panic(fmt.Sprintf("sim: no input port %q on %s", name, s.nl.Name))
+	}
+	for i, n := range p.Bits {
+		s.vals[n] = val>>uint(i)&1 == 1
+	}
+	s.dirty = true
+}
+
+// SetInputBits drives an input port from a bool slice (LSB first). The
+// slice length must match the port width.
+func (s *Simulator) SetInputBits(name string, bits []bool) {
+	p, ok := s.nl.FindInput(name)
+	if !ok {
+		panic(fmt.Sprintf("sim: no input port %q on %s", name, s.nl.Name))
+	}
+	if len(bits) != len(p.Bits) {
+		panic(fmt.Sprintf("sim: port %q width %d, got %d bits", name, len(p.Bits), len(bits)))
+	}
+	for i, n := range p.Bits {
+		s.vals[n] = bits[i]
+	}
+	s.dirty = true
+}
+
+// Settle propagates values through the combinational logic (and the clock
+// network) without advancing the clock.
+func (s *Simulator) Settle() {
+	if !s.dirty {
+		return
+	}
+	var inBuf [3]bool
+	for _, cid := range s.nl.Topo() {
+		c := &s.nl.Cells[cid]
+		switch c.Kind {
+		case cell.CLKBUF:
+			s.vals[c.Out] = s.vals[c.In[0]]
+		case cell.CLKGATE:
+			s.vals[c.Out] = s.vals[c.In[0]] && s.vals[c.In[1]]
+		default:
+			in := inBuf[:len(c.In)]
+			for i, n := range c.In {
+				in[i] = s.vals[n]
+			}
+			s.vals[c.Out] = c.Kind.Eval(in)
+		}
+	}
+	s.dirty = false
+}
+
+// Step completes the current cycle: settle, sample SP counters and
+// waveforms, then apply the rising clock edge to every DFF whose clock net
+// is enabled.
+func (s *Simulator) Step() {
+	s.Settle()
+	if s.spEnabled {
+		s.sampleSP()
+	}
+	if len(s.recordNets) > 0 {
+		row := make([]bool, len(s.recordNets))
+		for i, n := range s.recordNets {
+			row[i] = s.vals[n]
+		}
+		s.waves = append(s.waves, row)
+	}
+	for i := range s.nl.Cells {
+		c := &s.nl.Cells[i]
+		if c.Kind != cell.DFF {
+			continue
+		}
+		if s.vals[c.Clk] { // clock enabled this cycle
+			s.next[c.Out] = s.vals[c.In[0]]
+		} else {
+			s.next[c.Out] = s.vals[c.Out]
+		}
+	}
+	for i := range s.nl.Cells {
+		c := &s.nl.Cells[i]
+		if c.Kind == cell.DFF {
+			s.vals[c.Out] = s.next[c.Out]
+		}
+	}
+	s.cycles++
+	s.dirty = true
+}
+
+// Run executes n cycles with the current inputs.
+func (s *Simulator) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+// sampleSP accumulates one cycle of residency. Data nets contribute their
+// settled logical value; clock-network nets contribute 0.5 when the clock
+// is running (it spends half of each period high) and 0.0 when gated off
+// (a gated clock idles low).
+func (s *Simulator) sampleSP() {
+	isClockNet := s.clockNets()
+	for n := 0; n < s.nl.NumNets; n++ {
+		switch {
+		case isClockNet[n]:
+			if s.vals[n] {
+				s.spOnes[n] += 0.5
+			}
+		case s.vals[n]:
+			s.spOnes[n] += 1.0
+		}
+	}
+}
+
+// clockNets lazily computes which nets belong to the clock network (the
+// clock root plus every clock-cell output).
+func (s *Simulator) clockNets() []bool {
+	if s.clockNetCache != nil {
+		return s.clockNetCache
+	}
+	m := make([]bool, s.nl.NumNets)
+	if s.nl.ClockRoot != netlist.NoNet {
+		m[s.nl.ClockRoot] = true
+	}
+	for _, c := range s.nl.Cells {
+		if c.Kind.IsClock() {
+			m[c.Out] = true
+		}
+	}
+	s.clockNetCache = m
+	return m
+}
+
+// Output reads a (multi-bit) output port as a uint64 (LSB first), after
+// settling.
+func (s *Simulator) Output(name string) uint64 {
+	p, ok := s.nl.FindOutput(name)
+	if !ok {
+		panic(fmt.Sprintf("sim: no output port %q on %s", name, s.nl.Name))
+	}
+	s.Settle()
+	var v uint64
+	for i, n := range p.Bits {
+		if s.vals[n] {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// Net reads the settled value of a single net.
+func (s *Simulator) Net(n netlist.NetID) bool {
+	s.Settle()
+	return s.vals[n]
+}
+
+// SP returns the signal probability of net n over all sampled cycles.
+func (s *Simulator) SP(n netlist.NetID) float64 {
+	if !s.spEnabled || s.cycles == 0 {
+		return 0
+	}
+	return s.spOnes[n] / float64(s.cycles)
+}
+
+// Profile is a per-net signal-probability profile plus the observation
+// length, consumed by the aging analysis.
+type Profile struct {
+	Cycles uint64
+	SP     []float64 // indexed by NetID
+}
+
+// Profile snapshots the accumulated SP counters.
+func (s *Simulator) Profile() *Profile {
+	p := &Profile{Cycles: s.cycles, SP: make([]float64, s.nl.NumNets)}
+	if s.cycles == 0 {
+		return p
+	}
+	for n := range p.SP {
+		p.SP[n] = s.spOnes[n] / float64(s.cycles)
+	}
+	return p
+}
+
+// CellSP returns the SP of every cell's output net, keyed by CellID — the
+// shape of the paper's Table 1.
+func (p *Profile) CellSP(nl *netlist.Netlist) map[netlist.CellID]float64 {
+	m := make(map[netlist.CellID]float64, len(nl.Cells))
+	for i, c := range nl.Cells {
+		m[netlist.CellID(i)] = p.SP[c.Out]
+	}
+	return m
+}

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/demo"
+)
+
+func TestVCDExport(t *testing.T) {
+	nl := demo.Adder2()
+	s := New(nl)
+	s.RecordPorts()
+	s.SetInput("a", 1)
+	s.SetInput("b", 3)
+	s.Run(2)
+	s.SetInput("a", 0)
+	s.SetInput("b", 0)
+	s.Run(2)
+	vcd := s.VCD("1ns")
+	for _, want := range []string{
+		"$timescale 1ns $end", "$scope module adder $end",
+		"$var wire 1", "a_0", "o_1", "$enddefinitions $end", "#0",
+	} {
+		if !strings.Contains(vcd, want) {
+			t.Errorf("VCD missing %q:\n%s", want, vcd)
+		}
+	}
+	// Initial values dumped at #0 for every recorded net.
+	body := vcd[strings.Index(vcd, "#0"):]
+	var initLines int
+	for _, line := range strings.Split(body, "\n")[1:] {
+		if strings.HasPrefix(line, "#") {
+			break
+		}
+		if line != "" {
+			initLines++
+		}
+	}
+	if initLines < len(s.recordNets) {
+		t.Errorf("initial dump has %d lines, want %d", initLines, len(s.recordNets))
+	}
+	// Value changes appear at later timestamps.
+	if !strings.Contains(vcd, "#2") {
+		t.Errorf("no change records:\n%s", vcd)
+	}
+}
+
+func TestVCDIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		id := vcdID(i)
+		if seen[id] {
+			t.Fatalf("duplicate VCD id %q at %d", id, i)
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,435 @@
+// Package sta implements aging-aware static timing analysis over
+// netlists: block-based arrival-time propagation, setup and hold checks
+// against per-flip-flop clock arrival (including aged clock-tree skew),
+// worst-negative-slack reporting, and exhaustive enumeration of
+// violating paths with unique start/end pair filtering — the paper's
+// Aging Analysis phase (§3.2.2) and the producer of its Table 3.
+//
+// Conservatism matches industrial signoff: launch clock and data use
+// late (maximum, aged) delays against an early capture clock for setup,
+// and early delays against a late capture clock for hold, with no common
+// path pessimism removal.
+package sta
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/aging"
+	"repro/internal/cell"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// Config parameterizes one STA run.
+type Config struct {
+	// PeriodPs is the clock period constraint.
+	PeriodPs float64
+	// Scale multiplies every timing quantity (delays and constraint
+	// windows) — the synthesis-margin calibration knob. Zero means 1.
+	Scale float64
+	// Aged is the aging-aware timing library. If nil, the analysis runs
+	// fresh (nominal delays) using Base.
+	Aged *aging.Library
+	// Base is the nominal library, required when Aged is nil.
+	Base *cell.Library
+	// Profile supplies per-net signal probabilities for the aged lookup.
+	// Required when Aged is non-nil.
+	Profile *sim.Profile
+	// MaxPaths caps violating-path enumeration (0 means 200000).
+	MaxPaths int
+	// PerEndpoint caps the paths enumerated into any single endpoint,
+	// like the nworst limit of a signoff tool's timing report (0 means
+	// 400).
+	PerEndpoint int
+}
+
+// PathType distinguishes the two timing checks.
+type PathType int
+
+// Setup and hold checks (§2.3.2).
+const (
+	Setup PathType = iota
+	Hold
+)
+
+func (t PathType) String() string {
+	if t == Hold {
+		return "hold"
+	}
+	return "setup"
+}
+
+// Pair identifies a signal path by its launching and capturing flip-flops
+// — the unit the paper deduplicates on before error lifting (§5.2.1).
+type Pair struct {
+	Start, End netlist.CellID
+}
+
+// PairSummary aggregates all violating paths sharing a start/end pair.
+type PairSummary struct {
+	Pair
+	Type       PathType
+	Paths      int
+	WorstSlack float64
+}
+
+// Result is the outcome of one STA run.
+type Result struct {
+	Config Config
+
+	// WNSSetup/WNSHold are worst slacks in ps (positive = met). They are
+	// +Inf when no path of that kind exists.
+	WNSSetup float64
+	WNSHold  float64
+
+	// NumSetupViolations/NumHoldViolations count violating paths
+	// (possibly truncated at MaxPaths; Truncated reports that).
+	NumSetupViolations int
+	NumHoldViolations  int
+	Truncated          bool
+
+	// Pairs holds per start/end pair aggregates for violating paths,
+	// worst first.
+	Pairs []PairSummary
+
+	// Factor is the aging delay factor applied to each cell (1.0 when
+	// fresh) — the data behind the paper's Figure 8.
+	Factor []float64
+
+	// ClockArrival gives each DFF's (late) clock arrival in ps, for skew
+	// reports.
+	ClockArrival map[netlist.CellID]float64
+}
+
+const inf = math.MaxFloat64
+
+// Analyze runs the timing analysis.
+func Analyze(nl *netlist.Netlist, cfg Config) *Result {
+	a := newAnalysis(nl, cfg)
+	a.computeCellTiming()
+	a.computeClockArrivals()
+	a.propagateArrivals()
+	return a.check()
+}
+
+type analysis struct {
+	nl  *netlist.Netlist
+	cfg Config
+
+	scale  float64
+	dmin   []float64 // per cell, aged+scaled
+	dmax   []float64
+	factor []float64
+	setup  float64 // scaled DFF setup window
+	hold   float64
+
+	clkLate  []float64 // per cell (DFF): late clock arrival at CLK pin
+	clkEarly []float64
+
+	// Per-net data arrival times; -inf/+inf mean "no timed path".
+	arrMax []float64
+	arrMin []float64
+}
+
+func newAnalysis(nl *netlist.Netlist, cfg Config) *analysis {
+	a := &analysis{nl: nl, cfg: cfg, scale: cfg.Scale}
+	if a.scale == 0 {
+		a.scale = 1
+	}
+	if a.cfg.MaxPaths == 0 {
+		a.cfg.MaxPaths = 200000
+	}
+	if a.cfg.PerEndpoint == 0 {
+		a.cfg.PerEndpoint = 400
+	}
+	return a
+}
+
+func (a *analysis) baseLib() *cell.Library {
+	if a.cfg.Aged != nil {
+		return a.cfg.Aged.Base
+	}
+	return a.cfg.Base
+}
+
+func (a *analysis) computeCellTiming() {
+	nl := a.nl
+	base := a.baseLib()
+	a.dmin = make([]float64, len(nl.Cells))
+	a.dmax = make([]float64, len(nl.Cells))
+	a.factor = make([]float64, len(nl.Cells))
+	for i, c := range nl.Cells {
+		t := base.Timing[c.Kind]
+		f := 1.0
+		if a.cfg.Aged != nil {
+			sp := a.cfg.Profile.SP[c.Out]
+			f = a.cfg.Aged.Factor(c.Kind, sp)
+		}
+		a.factor[i] = f
+		a.dmin[i] = t.DelayMin * f * a.scale
+		a.dmax[i] = t.DelayMax * f * a.scale
+	}
+	dff := base.Timing[cell.DFF]
+	a.setup = dff.Setup * a.scale
+	a.hold = dff.Hold * a.scale
+}
+
+// computeClockArrivals walks each DFF's clock pin up the clock network to
+// the root, accumulating aged buffer delays. This is the clock
+// phase-shift analysis of §3.2.2: asymmetric aging of gated subtrees
+// shows up here as skew between flip-flops.
+//
+// Clock arrivals use a single corner (the aged maximum delay) for both
+// launch and capture: branches of the same tree on the same die track
+// each other, and signoff removes common-path pessimism. Skew between two
+// flip-flops therefore comes only from genuinely different branch delays
+// — nominal imbalance plus asymmetric aging — not from min/max corner
+// spread.
+func (a *analysis) computeClockArrivals() {
+	nl := a.nl
+	a.clkLate = make([]float64, len(nl.Cells))
+	a.clkEarly = make([]float64, len(nl.Cells))
+	memo := map[netlist.NetID]float64{}
+	var walk func(n netlist.NetID) float64
+	walk = func(n netlist.NetID) float64 {
+		if v, ok := memo[n]; ok {
+			return v
+		}
+		var arr float64
+		if d := nl.Driver(n); d != netlist.NoCell && nl.Cells[d].Kind.IsClock() {
+			arr = walk(nl.Cells[d].In[0]) + a.dmax[d]
+		}
+		memo[n] = arr
+		return arr
+	}
+	for i, c := range nl.Cells {
+		if c.Kind == cell.DFF {
+			arr := walk(c.Clk)
+			a.clkLate[i], a.clkEarly[i] = arr, arr
+		}
+	}
+}
+
+// propagateArrivals runs the forward block-based pass. Sources are DFF
+// outputs (launch clock + clk-to-q); primary inputs, tie cells and the
+// clock network carry no data arrival (I/O paths are unconstrained, as
+// the paper's module-level analysis assumes registered boundaries).
+func (a *analysis) propagateArrivals() {
+	nl := a.nl
+	a.arrMax = make([]float64, nl.NumNets)
+	a.arrMin = make([]float64, nl.NumNets)
+	for n := range a.arrMax {
+		a.arrMax[n] = -inf
+		a.arrMin[n] = inf
+	}
+	for i, c := range nl.Cells {
+		if c.Kind == cell.DFF {
+			a.arrMax[c.Out] = a.clkLate[i] + a.dmax[i]
+			a.arrMin[c.Out] = a.clkEarly[i] + a.dmin[i]
+		}
+	}
+	for _, cid := range nl.Topo() {
+		c := &nl.Cells[cid]
+		if c.Kind.IsClock() || c.Kind == cell.TIE0 || c.Kind == cell.TIE1 {
+			continue
+		}
+		hi, lo := -inf, inf
+		for _, in := range c.In {
+			if a.arrMax[in] > hi {
+				hi = a.arrMax[in]
+			}
+			if a.arrMin[in] < lo {
+				lo = a.arrMin[in]
+			}
+		}
+		if hi > -inf {
+			a.arrMax[c.Out] = hi + a.dmax[cid]
+		}
+		if lo < inf {
+			a.arrMin[c.Out] = lo + a.dmin[cid]
+		}
+	}
+}
+
+// check computes slacks at every DFF D pin, then enumerates violating
+// paths.
+func (a *analysis) check() *Result {
+	nl := a.nl
+	res := &Result{
+		Config:       a.cfg,
+		WNSSetup:     inf,
+		WNSHold:      inf,
+		Factor:       a.factor,
+		ClockArrival: make(map[netlist.CellID]float64),
+	}
+	pairs := map[Pair]*PairSummary{}
+	budget := a.cfg.MaxPaths
+
+	for i, c := range nl.Cells {
+		if c.Kind != cell.DFF {
+			continue
+		}
+		cid := netlist.CellID(i)
+		res.ClockArrival[cid] = a.clkLate[i]
+		d := c.In[0]
+
+		// Setup: data (late) must beat the next capture edge (early).
+		if a.arrMax[d] > -inf {
+			required := a.cfg.PeriodPs + a.clkEarly[i] - a.setup
+			slack := required - a.arrMax[d]
+			if slack < res.WNSSetup {
+				res.WNSSetup = slack
+			}
+			if slack < 0 {
+				n, trunc := a.enumerate(cid, d, required, Setup, pairs, min(budget, a.cfg.PerEndpoint))
+				res.NumSetupViolations += n
+				budget -= n
+				res.Truncated = res.Truncated || trunc
+			}
+		}
+
+		// Hold: data (early) from the same edge must not race past the
+		// capture edge (late) plus the hold window.
+		if a.arrMin[d] < inf {
+			required := a.clkLate[i] + a.hold
+			slack := a.arrMin[d] - required
+			if slack < res.WNSHold {
+				res.WNSHold = slack
+			}
+			if slack < 0 {
+				n, trunc := a.enumerate(cid, d, required, Hold, pairs, min(budget, a.cfg.PerEndpoint))
+				res.NumHoldViolations += n
+				budget -= n
+				res.Truncated = res.Truncated || trunc
+			}
+		}
+	}
+
+	for _, p := range pairs {
+		res.Pairs = append(res.Pairs, *p)
+	}
+	sort.Slice(res.Pairs, func(i, j int) bool {
+		if res.Pairs[i].WorstSlack != res.Pairs[j].WorstSlack {
+			return res.Pairs[i].WorstSlack < res.Pairs[j].WorstSlack
+		}
+		if res.Pairs[i].Start != res.Pairs[j].Start {
+			return res.Pairs[i].Start < res.Pairs[j].Start
+		}
+		return res.Pairs[i].End < res.Pairs[j].End
+	})
+	return res
+}
+
+// enumerate counts every violating path into endpoint end (bounded DFS
+// with arrival-time pruning) and folds them into the per-pair summaries.
+// It returns the number found and whether the budget truncated the walk.
+func (a *analysis) enumerate(end netlist.CellID, dNet netlist.NetID, required float64,
+	t PathType, pairs map[Pair]*PairSummary, budget int) (int, bool) {
+
+	nl := a.nl
+	found := 0
+	truncated := false
+
+	var dfs func(n netlist.NetID, suffix float64)
+	dfs = func(n netlist.NetID, suffix float64) {
+		if found >= budget {
+			truncated = true
+			return
+		}
+		if t == Setup {
+			if a.arrMax[n] == -inf || a.arrMax[n]+suffix <= required {
+				return // every completion meets timing
+			}
+		} else {
+			if a.arrMin[n] == inf || a.arrMin[n]+suffix >= required {
+				return
+			}
+		}
+		d := nl.Driver(n)
+		if d == netlist.NoCell {
+			return
+		}
+		c := &nl.Cells[d]
+		switch {
+		case c.Kind == cell.DFF:
+			var total, slack float64
+			if t == Setup {
+				total = a.clkLate[d] + a.dmax[d] + suffix
+				slack = required - total
+			} else {
+				total = a.clkEarly[d] + a.dmin[d] + suffix
+				slack = total - required
+			}
+			if slack >= 0 {
+				return
+			}
+			found++
+			p := Pair{Start: d, End: end}
+			s, ok := pairs[p]
+			if !ok {
+				s = &PairSummary{Pair: p, Type: t, WorstSlack: slack}
+				pairs[p] = s
+			}
+			s.Paths++
+			if slack < s.WorstSlack {
+				s.WorstSlack = slack
+			}
+		case c.Kind.IsClock(), c.Kind == cell.TIE0, c.Kind == cell.TIE1:
+			return
+		default:
+			var step float64
+			if t == Setup {
+				step = a.dmax[d]
+			} else {
+				step = a.dmin[d]
+			}
+			for _, in := range c.In {
+				dfs(in, suffix+step)
+			}
+		}
+	}
+	dfs(dNet, 0)
+	return found, truncated
+}
+
+// CriticalDelay returns the largest "effective" endpoint delay of a fresh
+// (unaged, unscaled) analysis: launch clock + clk-to-q + combinational
+// delay − capture clock + setup, i.e. the minimum period at which the
+// design just meets setup timing. It is used to calibrate the synthesis
+// margin (see Calibrate).
+func CriticalDelay(nl *netlist.Netlist, base *cell.Library) float64 {
+	a := newAnalysis(nl, Config{PeriodPs: 0, Base: base})
+	a.computeCellTiming()
+	a.computeClockArrivals()
+	a.propagateArrivals()
+	worst := 0.0
+	for i, c := range nl.Cells {
+		if c.Kind != cell.DFF {
+			continue
+		}
+		d := c.In[0]
+		if a.arrMax[d] == -inf {
+			continue
+		}
+		eff := a.arrMax[d] - a.clkEarly[i] + a.setup
+		if eff > worst {
+			worst = eff
+		}
+	}
+	return worst
+}
+
+// Calibrate computes the global delay scale that makes the fresh design
+// meet its period with exactly the given relative margin (fresh WNS =
+// margin × period). This models the synthesis/P&R flow, which optimizes
+// a design until it just meets its frequency target — the reason a
+// freshly-deployed circuit passes signoff but sits close enough to the
+// edge for aging to push paths over (§5.2.1).
+func Calibrate(nl *netlist.Netlist, base *cell.Library, periodPs, margin float64) float64 {
+	crit := CriticalDelay(nl, base)
+	if crit <= 0 {
+		return 1
+	}
+	return periodPs * (1 - margin) / crit
+}

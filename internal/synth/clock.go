@@ -1,0 +1,111 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// ClockTree is a buffered clock-distribution network: a balanced binary
+// tree of CLKBUF cells from the module's clock root down to 2^depth leaf
+// nets that flip-flops connect to. Subtrees can be clock-gated, which is
+// the paper's mechanism for asymmetric aging of the clock network
+// (§2.3.1): a gated-off subtree idles low, putting its buffers under
+// maximal BTI stress and skewing the tree after aging.
+type ClockTree struct {
+	Root   netlist.NetID
+	Leaves []netlist.NetID
+	// BufferChain[i] lists the clock-cell CellIDs from the root to leaf i,
+	// in order. STA uses it to compute per-leaf clock arrival times.
+	BufferChain [][]netlist.CellID
+	// GateCell[i] is the CLKGATE on leaf i's branch, or NoCell when the
+	// branch is ungated. Instrumentation uses it to rewire enables.
+	GateCell []netlist.CellID
+}
+
+// ClockTreeOption configures ClockTree construction.
+type ClockTreeOption func(*clockTreeConfig)
+
+type clockTreeConfig struct {
+	gates     map[int]netlist.NetID // leaf index -> enable net
+	leafChain int                   // buffers appended below every leaf
+}
+
+// WithLeafChain appends n CLKBUFs below every leaf (after the clock gate
+// on gated branches). Real trees carry several levels of local buffering
+// under each gate; because P&R balances nominal insertion delay across
+// all branches, the chains are equal-length everywhere — but on gated
+// branches they idle low and age faster, which is what turns a balanced
+// tree into a skewed one (§2.3.1).
+func WithLeafChain(n int) ClockTreeOption {
+	return func(c *clockTreeConfig) { c.leafChain = n }
+}
+
+// WithLeafGate inserts a CLKGATE (instead of the final CLKBUF) on the
+// branch feeding the given leaf, controlled by enable.
+func WithLeafGate(leaf int, enable netlist.NetID) ClockTreeOption {
+	return func(c *clockTreeConfig) {
+		if c.gates == nil {
+			c.gates = make(map[int]netlist.NetID)
+		}
+		c.gates[leaf] = enable
+	}
+}
+
+// BuildClockTree creates a depth-level buffered tree under root and
+// returns the leaf clock nets. depth 0 returns the root itself as the
+// single leaf.
+func (c *C) BuildClockTree(root netlist.NetID, depth int, opts ...ClockTreeOption) *ClockTree {
+	var cfg clockTreeConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	t := &ClockTree{Root: root}
+	if depth == 0 {
+		t.Leaves = Bus{root}
+		t.BufferChain = [][]netlist.CellID{nil}
+		t.GateCell = []netlist.CellID{netlist.NoCell}
+		return t
+	}
+	type node struct {
+		net   netlist.NetID
+		chain []netlist.CellID
+		gate  netlist.CellID
+	}
+	level := []node{{net: root, gate: netlist.NoCell}}
+	for d := 0; d < depth; d++ {
+		last := d == depth-1
+		next := make([]node, 0, len(level)*2)
+		for i, parent := range level {
+			for side := 0; side < 2; side++ {
+				leafIdx := i*2 + side
+				var out netlist.NetID
+				gate := parent.gate
+				name := fmt.Sprintf("CLKBUF$L%d_%d", d+1, leafIdx)
+				if en, ok := cfg.gates[leafIdx]; last && ok {
+					name = fmt.Sprintf("CLKGATE$L%d_%d", d+1, leafIdx)
+					out = c.B.AddNamed(cell.CLKGATE, name, parent.net, en)
+					gate = netlist.CellID(c.B.NumCells() - 1)
+				} else {
+					out = c.B.AddNamed(cell.CLKBUF, name, parent.net)
+				}
+				cellID := netlist.CellID(c.B.NumCells() - 1)
+				chain := append(append([]netlist.CellID(nil), parent.chain...), cellID)
+				next = append(next, node{net: out, chain: chain, gate: gate})
+			}
+		}
+		level = next
+	}
+	for i, n := range level {
+		net, chain := n.net, n.chain
+		for j := 0; j < cfg.leafChain; j++ {
+			net = c.B.AddNamed(cell.CLKBUF, fmt.Sprintf("CLKBUF$C%d_%d", i, j), net)
+			chain = append(chain, netlist.CellID(c.B.NumCells()-1))
+		}
+		t.Leaves = append(t.Leaves, net)
+		t.BufferChain = append(t.BufferChain, chain)
+		t.GateCell = append(t.GateCell, n.gate)
+	}
+	return t
+}

@@ -1,0 +1,136 @@
+package vega_test
+
+import (
+	"testing"
+
+	vega "repro"
+	"repro/internal/core"
+	"repro/internal/lift"
+)
+
+// TestALUWorkflowEndToEnd exercises the full public-API pipeline on the
+// ALU: workload profiling, aging analysis, error lifting, suite
+// assembly, and validation against emulated aged silicon.
+func TestALUWorkflowEndToEnd(t *testing.T) {
+	w := vega.NewALU(vega.Config{})
+	res, err := w.AgingAnalysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WNSSetup >= 0 || res.NumSetupViolations == 0 {
+		t.Fatalf("expected aged setup violations, got WNS %.1f", res.WNSSetup)
+	}
+	if res.NumHoldViolations != 0 {
+		t.Error("the ALU should have no hold violations")
+	}
+	if _, err := w.ErrorLifting(); err != nil {
+		t.Fatal(err)
+	}
+	suite := w.Suite()
+	if len(suite.Cases) == 0 {
+		t.Fatal("no test cases constructed")
+	}
+	cycles, err := vega.SuiteCycles(suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles == 0 || cycles > 5000 {
+		t.Errorf("suite cycles = %d, expected a compact suite", cycles)
+	}
+	for _, q := range w.TestQuality(suite) {
+		if q.Pct(q.Detected) < 75 {
+			t.Errorf("FM=%v detection %.1f%%, expected most faults caught", q.FM, q.Pct(q.Detected))
+		}
+	}
+}
+
+// TestFPUWorkflowEndToEnd is the FPU variant; it is the expensive path
+// (gate-level FPU everywhere), so it is skipped in -short runs.
+func TestFPUWorkflowEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("FPU end-to-end is expensive")
+	}
+	w := vega.NewFPU(vega.Config{})
+	res, err := w.AgingAnalysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumSetupViolations < 100 {
+		t.Errorf("FPU should have many aged setup violations, got %d", res.NumSetupViolations)
+	}
+	if res.NumHoldViolations == 0 {
+		t.Error("FPU should have aged hold violations (clock-tree skew)")
+	}
+	if _, err := w.ErrorLifting(); err != nil {
+		t.Fatal(err)
+	}
+	suite := w.Suite()
+	if len(suite.Cases) < 10 {
+		t.Fatalf("FPU suite suspiciously small: %d cases", len(suite.Cases))
+	}
+	rows := w.TestQuality(suite)
+	for _, q := range rows {
+		if q.Pct(q.Detected) < 80 {
+			t.Errorf("FM=%v detection %.1f%%", q.FM, q.Pct(q.Detected))
+		}
+	}
+}
+
+// TestMitigationImprovesRobustness checks the §3.3.4 story: the
+// edge-filtered variants at least match plain construction on fixed-C
+// failure modes.
+func TestMitigationImprovesRobustness(t *testing.T) {
+	plain := vega.NewALU(vega.Config{})
+	if _, err := plain.ErrorLifting(); err != nil {
+		t.Fatal(err)
+	}
+	mit := vega.NewALU(vega.Config{Lift: vega.LiftConfig{Mitigation: true}})
+	if _, err := mit.ErrorLifting(); err != nil {
+		t.Fatal(err)
+	}
+	sPlain, sMit := plain.Suite(), mit.Suite()
+	if len(sMit.Cases) <= len(sPlain.Cases) {
+		t.Errorf("mitigation should generate more cases: %d vs %d",
+			len(sMit.Cases), len(sPlain.Cases))
+	}
+	qPlain := plain.TestQuality(sPlain)
+	qMit := mit.TestQuality(sMit)
+	for i := range qPlain {
+		if qMit[i].Pct(qMit[i].Detected) < qPlain[i].Pct(qPlain[i].Detected) {
+			t.Errorf("FM=%v: mitigation regressed detection (%.1f%% -> %.1f%%)",
+				qPlain[i].FM, qPlain[i].Pct(qPlain[i].Detected), qMit[i].Pct(qMit[i].Detected))
+		}
+	}
+}
+
+// TestTable4Tally sanity-checks the outcome aggregation.
+func TestTable4Tally(t *testing.T) {
+	w := vega.NewALU(vega.Config{})
+	if _, err := w.ErrorLifting(); err != nil {
+		t.Fatal(err)
+	}
+	row := core.Table4("ALU", false, w.Results)
+	if row.S+row.UR+row.FF+row.FC != row.Total {
+		t.Errorf("tally does not sum: %+v", row)
+	}
+	if row.Total != len(w.STA.Pairs) {
+		t.Errorf("pair count mismatch: %d vs %d", row.Total, len(w.STA.Pairs))
+	}
+}
+
+// TestMergedSuite checks cross-unit suite merging used by Figure 9.
+func TestMergedSuite(t *testing.T) {
+	w := vega.NewALU(vega.Config{})
+	if _, err := w.ErrorLifting(); err != nil {
+		t.Fatal(err)
+	}
+	s1 := w.Suite()
+	s2 := lift.RandomSuite(w.Module, 3, 5)
+	merged := vega.MergeSuites(s1, s2)
+	if len(merged.Cases) != len(s1.Cases)+3 {
+		t.Errorf("merge lost cases")
+	}
+	if _, err := vega.SuiteCycles(merged); err != nil {
+		t.Errorf("merged suite does not run: %v", err)
+	}
+}
