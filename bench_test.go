@@ -321,3 +321,38 @@ func BenchmarkAblation_PerEndpointCap(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkParallelism times the two heaviest fan-out phases at -j 1 and
+// -j 4 (the pair the speedup claim compares). Results are byte-identical
+// at every setting — TestParallelismDeterminism proves it — so the only
+// thing parallelism changes is wall-clock time. The speedup is only
+// visible on a multi-core runner; on one CPU the settings time alike.
+func BenchmarkParallelism(b *testing.B) {
+	for _, jobs := range []int{1, 4} {
+		cfg := fastCfg(false)
+		cfg.Parallelism = jobs
+		b.Run(fmt.Sprintf("error-lifting/j-%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w := vega.NewALU(cfg)
+				if _, err := w.ErrorLifting(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, jobs := range []int{1, 4} {
+		cfg := fastCfg(false)
+		cfg.Parallelism = jobs
+		w := vega.NewALU(cfg)
+		if _, err := w.ErrorLifting(); err != nil {
+			b.Fatal(err)
+		}
+		suite := w.Suite()
+		b.Run(fmt.Sprintf("test-quality/j-%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows := w.TestQuality(suite)
+				b.ReportMetric(rows[0].Pct(rows[0].Detected), "C0-detected-%")
+			}
+		})
+	}
+}

@@ -21,6 +21,7 @@ import (
 func main() {
 	outDir := flag.String("out", ".", "directory for the generated library sources")
 	years := flag.Float64("years", 10, "assumed lifetime in years")
+	jobs := flag.Int("j", 0, "worker parallelism (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
 
 	// Figure 4: switching-delay degradation of the 28nm XOR cell.
@@ -43,7 +44,7 @@ func main() {
 	fmt.Println()
 
 	// Generate the aging library from freshly lifted suites.
-	cfg := core.Config{Years: *years, Lift: lift.Config{Mitigation: true}}
+	cfg := core.Config{Years: *years, Parallelism: *jobs, Lift: lift.Config{Mitigation: true}}
 	var suites []*lift.Suite
 	for _, mk := range []func(core.Config) *core.Workflow{core.NewALU, core.NewFPU} {
 		w := mk(cfg)

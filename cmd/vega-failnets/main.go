@@ -22,14 +22,15 @@ func main() {
 	outDir := flag.String("out", "failnets", "output directory")
 	unit := flag.String("unit", "ALU", "unit to export (ALU or FPU)")
 	limit := flag.Int("limit", 0, "max pairs to export (0 = all)")
+	jobs := flag.Int("j", 0, "worker parallelism (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
 
 	var w *core.Workflow
 	switch strings.ToUpper(*unit) {
 	case "ALU":
-		w = core.NewALU(core.Config{})
+		w = core.NewALU(core.Config{Parallelism: *jobs})
 	case "FPU":
-		w = core.NewFPU(core.Config{})
+		w = core.NewFPU(core.Config{Parallelism: *jobs})
 	default:
 		log.Fatalf("unknown unit %q", *unit)
 	}

@@ -15,12 +15,13 @@ import (
 
 func main() {
 	years := flag.Float64("years", 10, "assumed lifetime in years")
+	jobs := flag.Int("j", 0, "worker parallelism (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
 
 	var t4rows, t5rows [][]string
 	for _, mitigation := range []bool{false, true} {
 		for _, mk := range []func(core.Config) *core.Workflow{core.NewALU, core.NewFPU} {
-			w := mk(core.Config{Years: *years, Lift: lift.Config{Mitigation: mitigation}})
+			w := mk(core.Config{Years: *years, Parallelism: *jobs, Lift: lift.Config{Mitigation: mitigation}})
 			fmt.Printf("lifting %s (mitigation=%v) ...\n", w.Describe(), mitigation)
 			if _, err := w.ErrorLifting(); err != nil {
 				log.Fatal(err)

@@ -16,10 +16,11 @@ import (
 func main() {
 	budget := flag.Float64("budget", 0.01, "overhead budget fraction")
 	years := flag.Float64("years", 10, "assumed lifetime in years")
+	jobs := flag.Int("j", 0, "worker parallelism (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
 
 	for _, mitigation := range []bool{false, true} {
-		cfg := core.Config{Years: *years, Lift: lift.Config{Mitigation: mitigation}}
+		cfg := core.Config{Years: *years, Parallelism: *jobs, Lift: lift.Config{Mitigation: mitigation}}
 		wALU := core.NewALU(cfg)
 		wFPU := core.NewFPU(cfg)
 		fmt.Printf("building suites (mitigation=%v) ...\n", mitigation)

@@ -17,6 +17,7 @@ import (
 func main() {
 	seeds := flag.Int("seeds", 10, "random-suite seeds for Table 7")
 	years := flag.Float64("years", 10, "assumed lifetime in years")
+	jobs := flag.Int("j", 0, "worker parallelism (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
 
 	var t6rows, t7rows [][]string
@@ -24,7 +25,7 @@ func main() {
 		var suites [2]*lift.Suite
 		var flows [2]*core.Workflow
 		for i, mitigation := range []bool{false, true} {
-			w := mk(core.Config{Years: *years, Lift: lift.Config{Mitigation: mitigation}})
+			w := mk(core.Config{Years: *years, Parallelism: *jobs, Lift: lift.Config{Mitigation: mitigation}})
 			fmt.Printf("lifting %s (mitigation=%v) ...\n", w.Describe(), mitigation)
 			if _, err := w.ErrorLifting(); err != nil {
 				log.Fatal(err)

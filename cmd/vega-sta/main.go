@@ -18,9 +18,10 @@ func main() {
 	bins := flag.Int("bins", 12, "histogram bins for Figure 8")
 	paths := flag.Bool("paths", true, "print the worst aged path per unit")
 	sweep := flag.Bool("sweep", false, "sweep lifetimes and report failure onset")
+	jobs := flag.Int("j", 0, "worker parallelism (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
 
-	cfg := core.Config{Years: *years}
+	cfg := core.Config{Years: *years, Parallelism: *jobs}
 	var rows [][]string
 	for _, mk := range []func(core.Config) *core.Workflow{core.NewALU, core.NewFPU} {
 		w := mk(cfg)

@@ -21,9 +21,10 @@ func main() {
 	years := flag.Float64("years", 10, "assumed lifetime in years")
 	mitigation := flag.Bool("mitigation", false, "enable the initial-value-dependency mitigation")
 	budget := flag.Float64("budget", 0.01, "integration overhead budget")
+	jobs := flag.Int("j", 0, "worker parallelism (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
 
-	cfg := core.Config{Years: *years, Lift: lift.Config{Mitigation: *mitigation}}
+	cfg := core.Config{Years: *years, Parallelism: *jobs, Lift: lift.Config{Mitigation: *mitigation}}
 	var suites []*lift.Suite
 
 	for _, mk := range []func(core.Config) *core.Workflow{core.NewALU, core.NewFPU} {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/integrate"
 	"repro/internal/isa"
 	"repro/internal/lift"
+	"repro/internal/par"
 	"repro/internal/sta"
 )
 
@@ -269,12 +271,26 @@ func (w *Workflow) runSuiteAgainst(img *isa.Image, spec fault.Spec, ownIdx int) 
 func (w *Workflow) TestQuality(s *lift.Suite) []QualityRow {
 	img := s.Image()
 	pairs := suitePairs(s)
-	var rows []QualityRow
-	for _, mode := range []fault.CValue{fault.C0, fault.C1, fault.CRandom} {
-		row := QualityRow{Unit: w.Module.Name, FM: mode, Total: len(pairs)}
-		for _, p := range pairs {
+	modes := []fault.CValue{fault.C0, fault.C1, fault.CRandom}
+
+	// One task per (failure mode, failing netlist): every task builds
+	// its own failing netlist and CPU, so the pool shares only the
+	// read-only suite image and module. Outcomes are collected in task
+	// order and tallied sequentially below — identical to the nested
+	// sequential loops at any parallelism.
+	dets, _ := par.Map(context.Background(), len(modes)*len(pairs), w.Config.Parallelism,
+		func(_ context.Context, i int) (Detection, error) {
+			mode := modes[i/len(pairs)]
+			p := pairs[i%len(pairs)]
 			spec := fault.Spec{Type: p.Type, Start: p.Pair.Start, End: p.Pair.End, C: mode}
-			switch w.runSuiteAgainst(img, spec, p.OwnIdx) {
+			return w.runSuiteAgainst(img, spec, p.OwnIdx), nil
+		})
+
+	var rows []QualityRow
+	for mi, mode := range modes {
+		row := QualityRow{Unit: w.Module.Name, FM: mode, Total: len(pairs)}
+		for pi := range pairs {
+			switch dets[mi*len(pairs)+pi] {
 			case DetectedOwn:
 				row.Detected++
 			case DetectedBefore:
@@ -308,13 +324,42 @@ type VsRandomRow struct {
 func (w *Workflow) VsRandom(s *lift.Suite, seeds int) []VsRandomRow {
 	img := s.Image()
 	pairs := suitePairs(s)
+	modes := []fault.CValue{fault.C0, fault.C1, fault.CRandom}
+
+	// Random suites are deterministic functions of their seed (the seed
+	// is derived from the suite index, never a shared rand.Rand), so the
+	// images can be built once up front and shared read-only by every
+	// replay task.
+	rImgs := make([]*isa.Image, seeds)
+	for seed := range rImgs {
+		rImgs[seed] = lift.RandomSuite(w.Module, len(s.Cases), int64(1000+seed)).Image()
+	}
+
+	// One task per (mode, pair, suite): suite index 0 is the Vega suite,
+	// 1..seeds are the random suites. Detection booleans are collected
+	// in task order and reduced sequentially, so percentages accumulate
+	// in the same order as the nested sequential loops.
+	perPair := 1 + seeds
+	detected, _ := par.Map(context.Background(), len(modes)*len(pairs)*perPair, w.Config.Parallelism,
+		func(_ context.Context, i int) (bool, error) {
+			mode := modes[i/(len(pairs)*perPair)]
+			rem := i % (len(pairs) * perPair)
+			p := pairs[rem/perPair]
+			k := rem % perPair
+			spec := fault.Spec{Type: p.Type, Start: p.Pair.Start, End: p.Pair.End, C: mode}
+			if k == 0 {
+				return w.runSuiteAgainst(img, spec, p.OwnIdx) != Missed, nil
+			}
+			return w.runSuiteAgainst(rImgs[k-1], spec, -1) != Missed, nil
+		})
+
+	at := func(mi, pi, k int) bool { return detected[(mi*len(pairs)+pi)*perPair+k] }
 	var rows []VsRandomRow
-	for _, mode := range []fault.CValue{fault.C0, fault.C1, fault.CRandom} {
+	for mi, mode := range modes {
 		row := VsRandomRow{Unit: w.Module.Name, FM: mode}
 		vega := 0
-		for _, p := range pairs {
-			spec := fault.Spec{Type: p.Type, Start: p.Pair.Start, End: p.Pair.End, C: mode}
-			if w.runSuiteAgainst(img, spec, p.OwnIdx) != Missed {
+		for pi := range pairs {
+			if at(mi, pi, 0) {
 				vega++
 			}
 		}
@@ -322,16 +367,13 @@ func (w *Workflow) VsRandom(s *lift.Suite, seeds int) []VsRandomRow {
 
 		var randTotal float64
 		for seed := 0; seed < seeds; seed++ {
-			rs := lift.RandomSuite(w.Module, len(s.Cases), int64(1000+seed))
-			rImg := rs.Image()
-			detected := 0
-			for _, p := range pairs {
-				spec := fault.Spec{Type: p.Type, Start: p.Pair.Start, End: p.Pair.End, C: mode}
-				if w.runSuiteAgainst(rImg, spec, -1) != Missed {
-					detected++
+			n := 0
+			for pi := range pairs {
+				if at(mi, pi, 1+seed) {
+					n++
 				}
 			}
-			randTotal += 100 * float64(detected) / float64(len(pairs))
+			randTotal += 100 * float64(n) / float64(len(pairs))
 		}
 		row.RandomPct = randTotal / float64(seeds)
 		rows = append(rows, row)

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/aging"
+	"repro/internal/cell"
+	"repro/internal/lift"
+	"repro/internal/par"
+)
+
+// liftedALU runs the full pipeline (profile → aged STA → error lifting)
+// at the given parallelism on a fast workload subset.
+func liftedALU(t *testing.T, parallelism int) *Workflow {
+	t.Helper()
+	w := NewALU(Config{Workloads: []string{"crc32", "minver"}, Parallelism: parallelism})
+	if _, err := w.ErrorLifting(); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestParallelismDeterminism is the load-bearing test for the parallel
+// workflow: every phase run at Parallelism=8 must produce results
+// deep-equal to Parallelism=1. This holds because tasks are pure
+// functions of their index, results are collected in index order, and
+// the SP replay partitions on fixed chunk boundaries.
+func TestParallelismDeterminism(t *testing.T) {
+	w1 := liftedALU(t, 1)
+	w8 := liftedALU(t, 8)
+
+	if !reflect.DeepEqual(w1.SPProfile, w8.SPProfile) {
+		t.Error("SP profiles differ between Parallelism=1 and Parallelism=8")
+	}
+	if w1.OpDensity != w8.OpDensity || w1.TotalInsts != w8.TotalInsts {
+		t.Errorf("profiling stats differ: (%v,%v) vs (%v,%v)",
+			w1.OpDensity, w1.TotalInsts, w8.OpDensity, w8.TotalInsts)
+	}
+	if !reflect.DeepEqual(w1.OpTrace, w8.OpTrace) {
+		t.Error("sampled op traces differ")
+	}
+	if !reflect.DeepEqual(w1.STA.Pairs, w8.STA.Pairs) {
+		t.Error("aging-prone pair censuses differ")
+	}
+	if len(w1.Results) == 0 || !reflect.DeepEqual(w1.Results, w8.Results) {
+		t.Errorf("lifting results differ (or empty): %d vs %d results",
+			len(w1.Results), len(w8.Results))
+	}
+
+	s1, s8 := w1.Suite(), w8.Suite()
+	if !reflect.DeepEqual(s1, s8) {
+		t.Fatal("assembled suites differ")
+	}
+	q1 := w1.TestQuality(s1)
+	q8 := w8.TestQuality(s8)
+	if len(q1) == 0 || !reflect.DeepEqual(q1, q8) {
+		t.Errorf("TestQuality rows differ:\n  j=1: %+v\n  j=8: %+v", q1, q8)
+	}
+}
+
+// TestParallelismDeterminismSweeps covers the remaining fan-out sites:
+// the lifetime and temperature sweeps and the Vega-vs-random replay.
+func TestParallelismDeterminismSweeps(t *testing.T) {
+	w1 := liftedALU(t, 1)
+	w8 := liftedALU(t, 8)
+
+	years := []float64{0, 2, 5, 10}
+	p1, err := w1.LifetimeSweep(years)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p8, err := w8.LifetimeSweep(years)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1, p8) {
+		t.Errorf("lifetime sweeps differ: %+v vs %+v", p1, p8)
+	}
+
+	temps := []float64{55, 125}
+	tp1, err := w1.TemperatureSweep(temps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp8, err := w8.TemperatureSweep(temps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tp1, tp8) {
+		t.Errorf("temperature sweeps differ: %+v vs %+v", tp1, tp8)
+	}
+
+	v1 := w1.VsRandom(w1.Suite(), 2)
+	v8 := w8.VsRandom(w8.Suite(), 2)
+	if !reflect.DeepEqual(v1, v8) {
+		t.Errorf("VsRandom rows differ: %+v vs %+v", v1, v8)
+	}
+}
+
+// TestConcurrentWorkflowsSharedLibrary hammers the concurrency
+// invariants directly: several workflows running whole phases at once
+// while sharing one cell.Library and one aging.Model, which must be
+// treated as read-only by every phase. Run under -race this flushes out
+// any write to shared state; instrumentation works on builder copies
+// (and Module.Clone provides hard isolation), so none should exist.
+func TestConcurrentWorkflowsSharedLibrary(t *testing.T) {
+	sharedLib := cell.Lib28()
+	sharedModel := aging.Default()
+
+	err := par.ForEach(context.Background(), 4, 4, func(_ context.Context, i int) error {
+		w := NewALU(Config{Workloads: []string{"crc32"}, Parallelism: 2})
+		w.Lib = sharedLib
+		w.Model = sharedModel
+		if _, err := w.AgingAnalysis(); err != nil {
+			return err
+		}
+		// Lift a few pairs on a cloned module while sibling goroutines
+		// lift from their own workflows concurrently.
+		m := w.Module.Clone()
+		for _, p := range w.STA.Pairs[:min(3, len(w.STA.Pairs))] {
+			for _, r := range lift.Construct(m, p.Pair, p.Type, w.Config.Lift) {
+				_ = r
+			}
+		}
+		// And exercise a sweep, which reads the shared model per task.
+		if _, err := w.TemperatureSweep([]float64{85, 125}); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

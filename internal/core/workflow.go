@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/aging"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/fpu"
 	"repro/internal/lift"
 	"repro/internal/module"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/sta"
 )
@@ -41,6 +43,13 @@ type Config struct {
 	// Workloads selects the representative benchmarks (default: all of
 	// embench).
 	Workloads []string
+	// Parallelism bounds the worker fan-out of every embarrassingly
+	// parallel phase (error lifting, workload profiling, suite replay,
+	// sweeps). 0 selects runtime.NumCPU(); 1 runs the plain sequential
+	// loops. Results are identical at every setting — parallel phases
+	// collect in task-index order and each task derives its own state
+	// (clones, simulators, seeds) from its index alone.
+	Parallelism int
 	// Lift tunes the error-lifting phase.
 	Lift lift.Config
 }
@@ -114,10 +123,18 @@ func (w *Workflow) ProfileWorkloads() error {
 			benches = append(benches, b)
 		}
 	}
+	ctx := context.Background()
 
-	var trace []cpu.OpRecord
-	var totalInsts uint64
-	for _, b := range benches {
+	// Stage 1 — one task per workload: run the behavioural CPU and
+	// record the unit's operation trace. Traces are concatenated at the
+	// barrier in workload order, so the merged trace is identical to the
+	// one a sequential loop over benches would build.
+	type workloadRun struct {
+		trace   []cpu.OpRecord
+		instret uint64
+	}
+	runs, err := par.Map(ctx, len(benches), w.Config.Parallelism, func(_ context.Context, i int) (workloadRun, error) {
+		b := benches[i]
 		c := cpu.New(MemSize)
 		recALU := &cpu.RecordingALU{}
 		recFPU := &cpu.RecordingFPU{}
@@ -125,14 +142,24 @@ func (w *Workflow) ProfileWorkloads() error {
 		c.FPU = recFPU
 		c.Load(b.Build())
 		if halt := c.Run(MaxCycles); halt != cpu.HaltExit || c.ExitCode != 0 {
-			return fmt.Errorf("core: workload %s failed (halt=%v exit=%d)", b.Name, halt, c.ExitCode)
+			return workloadRun{}, fmt.Errorf("core: workload %s failed (halt=%v exit=%d)", b.Name, halt, c.ExitCode)
 		}
-		totalInsts += c.Instret
+		out := workloadRun{instret: c.Instret}
 		if w.Module.Name == "ALU" {
-			trace = append(trace, recALU.Trace...)
+			out.trace = recALU.Trace
 		} else {
-			trace = append(trace, recFPU.Trace...)
+			out.trace = recFPU.Trace
 		}
+		return out, nil
+	})
+	if err != nil {
+		return err
+	}
+	var trace []cpu.OpRecord
+	var totalInsts uint64
+	for _, r := range runs {
+		trace = append(trace, r.trace...)
+		totalInsts += r.instret
 	}
 	if len(trace) == 0 {
 		return fmt.Errorf("core: workloads issued no %s operations", w.Module.Name)
@@ -164,16 +191,41 @@ func (w *Workflow) ProfileWorkloads() error {
 		gap = 0
 	}
 
-	d := module.NewDriver(w.Module)
-	d.Sim.EnableSP()
-	for _, op := range sampled {
-		d.Exec(op.Op, op.A, op.B)
-		d.Sim.SetInput(module.PortInValid, 0)
-		d.Sim.Run(gap)
+	// Stage 2 — replay the sampled ops at gate level in fixed chunks,
+	// one simulator per chunk, and merge the partial SP profiles at the
+	// barrier. Chunk boundaries depend only on sampleN (never on
+	// Parallelism), each chunk's simulator starts from the same reset
+	// state, and the raw residency counters merge exactly (multiples of
+	// 0.5 summed in chunk order), so the profile is byte-identical at
+	// every Parallelism setting.
+	chunks := profileChunks
+	if sampleN < chunks {
+		chunks = sampleN
 	}
-	w.SPProfile = d.Sim.Profile()
+	parts, err := par.Map(ctx, chunks, w.Config.Parallelism, func(_ context.Context, ci int) (*sim.Profile, error) {
+		lo := ci * sampleN / chunks
+		hi := (ci + 1) * sampleN / chunks
+		d := module.NewDriver(w.Module)
+		d.Sim.EnableSP()
+		for _, op := range sampled[lo:hi] {
+			d.Exec(op.Op, op.A, op.B)
+			d.Sim.SetInput(module.PortInValid, 0)
+			d.Sim.Run(gap)
+		}
+		return d.Sim.Profile(), nil
+	})
+	if err != nil {
+		return err
+	}
+	w.SPProfile = sim.MergeProfiles(parts...)
 	return nil
 }
+
+// profileChunks is the fixed partition width of the gate-level SP
+// replay. It is a constant — not Config.Parallelism — because the chunk
+// boundaries define where the replayed unit's state resets, and that
+// must not change with the worker count or the profile would too.
+const profileChunks = 16
 
 // AgingAnalysis runs the aging-aware STA (§3.2.2) over the SP profile.
 func (w *Workflow) AgingAnalysis() (*sta.Result, error) {
@@ -205,15 +257,27 @@ func (w *Workflow) FreshAnalysis() *sta.Result {
 
 // ErrorLifting runs failure-model instrumentation, trace generation and
 // instruction construction for every unique aging-prone pair (§3.3).
+// Pairs are lifted in parallel — each task instruments its own
+// structural clone and runs its own BMC/SAT instance — and the results
+// are flattened in pair order, so the output matches the sequential loop
+// exactly.
 func (w *Workflow) ErrorLifting() ([]lift.Result, error) {
 	if w.STA == nil {
 		if _, err := w.AgingAnalysis(); err != nil {
 			return nil, err
 		}
 	}
+	perPair, err := par.Map(context.Background(), len(w.STA.Pairs), w.Config.Parallelism,
+		func(_ context.Context, i int) ([]lift.Result, error) {
+			p := w.STA.Pairs[i]
+			return lift.Construct(w.Module, p.Pair, p.Type, w.Config.Lift), nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	var all []lift.Result
-	for _, p := range w.STA.Pairs {
-		all = append(all, lift.Construct(w.Module, p.Pair, p.Type, w.Config.Lift)...)
+	for _, rs := range perPair {
+		all = append(all, rs...)
 	}
 	w.Results = all
 	return all, nil
@@ -274,30 +338,32 @@ func (w *Workflow) LifetimeSweep(years []float64) ([]OnsetPoint, error) {
 			return nil, err
 		}
 	}
-	out := make([]OnsetPoint, 0, len(years))
-	for _, yr := range years {
-		var res *sta.Result
-		if yr <= 0 {
-			res = w.FreshAnalysis()
-		} else {
-			lib := aging.NewLibrary(w.Lib, w.Model, yr)
-			res = sta.Analyze(w.Module.Netlist, sta.Config{
-				PeriodPs:    w.Module.PeriodPs,
-				Scale:       w.Scale,
-				Aged:        lib,
-				Profile:     w.SPProfile,
-				PerEndpoint: 40,
-			})
-		}
-		out = append(out, OnsetPoint{
-			Years:           yr,
-			WNSSetup:        res.WNSSetup,
-			WNSHold:         res.WNSHold,
-			SetupViolations: res.NumSetupViolations,
-			HoldViolations:  res.NumHoldViolations,
+	// One task per sweep point: each builds its own aged library and STA
+	// run over the shared (read-only) netlist and SP profile.
+	return par.Map(context.Background(), len(years), w.Config.Parallelism,
+		func(_ context.Context, i int) (OnsetPoint, error) {
+			yr := years[i]
+			var res *sta.Result
+			if yr <= 0 {
+				res = w.FreshAnalysis()
+			} else {
+				lib := aging.NewLibrary(w.Lib, w.Model, yr)
+				res = sta.Analyze(w.Module.Netlist, sta.Config{
+					PeriodPs:    w.Module.PeriodPs,
+					Scale:       w.Scale,
+					Aged:        lib,
+					Profile:     w.SPProfile,
+					PerEndpoint: 40,
+				})
+			}
+			return OnsetPoint{
+				Years:           yr,
+				WNSSetup:        res.WNSSetup,
+				WNSHold:         res.WNSHold,
+				SetupViolations: res.NumSetupViolations,
+				HoldViolations:  res.NumHoldViolations,
+			}, nil
 		})
-	}
-	return out, nil
 }
 
 // FailureOnsetYears returns the first swept lifetime with any violation,
@@ -329,19 +395,21 @@ func (w *Workflow) TemperatureSweep(tempsC []float64) ([]TempPoint, error) {
 			return nil, err
 		}
 	}
-	out := make([]TempPoint, 0, len(tempsC))
-	for _, tc := range tempsC {
-		model := *w.Model
-		model.TempK = tc + 273.15
-		lib := aging.NewLibrary(w.Lib, &model, w.Config.Years)
-		res := sta.Analyze(w.Module.Netlist, sta.Config{
-			PeriodPs:    w.Module.PeriodPs,
-			Scale:       w.Scale,
-			Aged:        lib,
-			Profile:     w.SPProfile,
-			PerEndpoint: 40,
+	// One task per temperature point; each clones the aging model before
+	// adjusting TempK so the shared model stays read-only.
+	return par.Map(context.Background(), len(tempsC), w.Config.Parallelism,
+		func(_ context.Context, i int) (TempPoint, error) {
+			tc := tempsC[i]
+			model := *w.Model
+			model.TempK = tc + 273.15
+			lib := aging.NewLibrary(w.Lib, &model, w.Config.Years)
+			res := sta.Analyze(w.Module.Netlist, sta.Config{
+				PeriodPs:    w.Module.PeriodPs,
+				Scale:       w.Scale,
+				Aged:        lib,
+				Profile:     w.SPProfile,
+				PerEndpoint: 40,
+			})
+			return TempPoint{TempC: tc, WNSSetup: res.WNSSetup, SetupViolations: res.NumSetupViolations}, nil
 		})
-		out = append(out, TempPoint{TempC: tc, WNSSetup: res.WNSSetup, SetupViolations: res.NumSetupViolations})
-	}
-	return out, nil
 }

@@ -65,3 +65,17 @@ type Module struct {
 
 // FrequencyMHz converts the period target to MHz for reports.
 func (m *Module) FrequencyMHz() float64 { return 1e6 / m.PeriodPs }
+
+// Clone returns a module whose netlist is a deep structural copy, for
+// callers that want hard isolation between concurrent instrumentation
+// passes. The metadata, golden model, and clock tree are shared: they
+// are immutable after Build. Note that instrumentation itself never
+// mutates its source netlist (it builds through netlist.NewBuilderFrom,
+// which copies), so sharing one Module across the worker pool is safe;
+// Clone exists for defense in depth and for tests that prove the
+// concurrency invariants hold.
+func (m *Module) Clone() *Module {
+	c := *m
+	c.Netlist = m.Netlist.Clone()
+	return &c
+}

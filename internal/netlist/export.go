@@ -34,7 +34,9 @@ func (nl *Netlist) Verilog() string {
 	for _, p := range nl.Outputs {
 		fmt.Fprintf(&b, "  output wire %s %s;\n", rangeDecl(len(p.Bits)), p.Name)
 	}
-	fmt.Fprintf(&b, "  wire [%d:0] n;\n", nl.NumNets-1)
+	if nl.NumNets > 0 {
+		fmt.Fprintf(&b, "  wire [%d:0] n;\n", nl.NumNets-1)
+	}
 	// Tie port nets to the flat wire vector.
 	if nl.ClockRoot != NoNet {
 		fmt.Fprintf(&b, "  assign n[%d] = %s;\n", nl.ClockRoot, nl.NetName(nl.ClockRoot))

@@ -29,6 +29,9 @@ func ParseVerilog(src string) (*Netlist, error) {
 	if !p.done {
 		return nil, fmt.Errorf("missing endmodule")
 	}
+	if p.name == "" {
+		return nil, fmt.Errorf("missing module header")
+	}
 	return p.finish()
 }
 
@@ -54,6 +57,28 @@ type vparser struct {
 type parsedPort struct {
 	name  string
 	width int
+}
+
+// maxPortWidth bounds declared port widths. The widest real port in this
+// repository is 32 bits; the cap keeps a hostile/corrupt declaration like
+// `input wire [999999999:0]` from allocating gigabytes before Build can
+// reject the module.
+const maxPortWidth = 4096
+
+func portWidth(hiStr, portName string) (int, error) {
+	if portName == "n" {
+		// "n" is the flat wire vector Verilog() emits; a port with that
+		// name would alias it and break the round trip.
+		return 0, fmt.Errorf("port name %q is reserved", portName)
+	}
+	if hiStr == "" {
+		return 1, nil
+	}
+	hi, err := strconv.Atoi(hiStr)
+	if err != nil || hi < 0 || hi >= maxPortWidth {
+		return 0, fmt.Errorf("port %s: width %s out of range [1,%d]", portName, hiStr, maxPortWidth)
+	}
+	return hi + 1, nil
 }
 
 var (
@@ -91,19 +116,17 @@ func (p *vparser) line(line string) error {
 		return nil // flat wire vector declaration; nets allocated lazily
 	}
 	if m := reInput.FindStringSubmatch(line); m != nil {
-		width := 1
-		if m[1] != "" {
-			hi, _ := strconv.Atoi(m[1])
-			width = hi + 1
+		width, err := portWidth(m[1], m[2])
+		if err != nil {
+			return err
 		}
 		p.inputs = append(p.inputs, parsedPort{m[2], width})
 		return nil
 	}
 	if m := reOutput.FindStringSubmatch(line); m != nil {
-		width := 1
-		if m[1] != "" {
-			hi, _ := strconv.Atoi(m[1])
-			width = hi + 1
+		width, err := portWidth(m[1], m[2])
+		if err != nil {
+			return err
 		}
 		p.outputs = append(p.outputs, parsedPort{m[2], width})
 		return nil
@@ -237,8 +260,19 @@ func (p *vparser) assign(lhs, rhs, comment string) error {
 
 func name(comment string, seq int) string {
 	c := strings.TrimSpace(comment)
-	for _, prefix := range []string{"clkbuf ", "clkgate "} {
-		c = strings.TrimPrefix(c, prefix)
+	// Strip clock-cell markers until none remain so that naming is
+	// idempotent across export/parse round trips: Verilog() re-prefixes
+	// the marker, and a single trim would leave a residual prefix that
+	// shifts the name on every round.
+	for {
+		stripped := c
+		for _, prefix := range []string{"clkbuf ", "clkgate "} {
+			stripped = strings.TrimPrefix(stripped, prefix)
+		}
+		if stripped == c {
+			break
+		}
+		c = stripped
 	}
 	if c == "" {
 		return fmt.Sprintf("cell$%d", seq)

@@ -268,11 +268,22 @@ func (s *Simulator) SP(n netlist.NetID) float64 {
 type Profile struct {
 	Cycles uint64
 	SP     []float64 // indexed by NetID
+	// Ones holds the raw per-net residency counters SP is derived from
+	// (multiples of 0.5, so sums over partial profiles are exact in
+	// float64). They make profiles mergeable without re-rounding: the
+	// parallel workload-profiling path collects one partial profile per
+	// task and MergeProfiles reconstructs the exact combined SP.
+	Ones []float64
 }
 
 // Profile snapshots the accumulated SP counters.
 func (s *Simulator) Profile() *Profile {
-	p := &Profile{Cycles: s.cycles, SP: make([]float64, s.nl.NumNets)}
+	p := &Profile{
+		Cycles: s.cycles,
+		SP:     make([]float64, s.nl.NumNets),
+		Ones:   make([]float64, s.nl.NumNets),
+	}
+	copy(p.Ones, s.spOnes)
 	if s.cycles == 0 {
 		return p
 	}
@@ -280,6 +291,38 @@ func (s *Simulator) Profile() *Profile {
 		p.SP[n] = s.spOnes[n] / float64(s.cycles)
 	}
 	return p
+}
+
+// MergeProfiles combines partial profiles collected on the same netlist
+// (same net count) into one, as if a single simulator had observed all
+// cycles. Profiles with zero cycles contribute nothing. The raw Ones
+// counters are summed in argument order and are exact multiples of 0.5,
+// so the result is independent of how the observation was partitioned —
+// the invariant the parallel profiling path relies on.
+func MergeProfiles(ps ...*Profile) *Profile {
+	nets := 0
+	for _, p := range ps {
+		if p != nil && len(p.Ones) > nets {
+			nets = len(p.Ones)
+		}
+	}
+	out := &Profile{SP: make([]float64, nets), Ones: make([]float64, nets)}
+	for _, p := range ps {
+		if p == nil || p.Cycles == 0 {
+			continue
+		}
+		out.Cycles += p.Cycles
+		for n, v := range p.Ones {
+			out.Ones[n] += v
+		}
+	}
+	if out.Cycles == 0 {
+		return out
+	}
+	for n := range out.SP {
+		out.SP[n] = out.Ones[n] / float64(out.Cycles)
+	}
+	return out
 }
 
 // CellSP returns the SP of every cell's output net, keyed by CellID — the
