@@ -10,6 +10,7 @@ package vega_test
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	vega "repro"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/cell"
 	"repro/internal/core"
 	"repro/internal/demo"
+	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/lift"
 	"repro/internal/netlist"
@@ -216,6 +218,26 @@ func BenchmarkSubstrate_GateSim(b *testing.B) {
 		s.SetInput("b", uint64(i*3))
 		s.SetInput("in_valid", 1)
 		s.Step()
+	}
+	b.ReportMetric(float64(len(m.Cells)), "cells")
+}
+
+// BenchmarkSubstrate_GateSimPacked drives the same ALU netlist through
+// the engine's 64-lane bit-parallel evaluator under random stimulus.
+// The unit of work is one lane-cycle, so ns/op compares directly with
+// BenchmarkSubstrate_GateSim above.
+func BenchmarkSubstrate_GateSimPacked(b *testing.B) {
+	m := vegaALUModule()
+	e := engine.NewPacked(engine.Cached(m))
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for done := 0; done < b.N; done += engine.Lanes {
+		for _, p := range m.Inputs {
+			for _, n := range p.Bits {
+				e.SetNet(n, rng.Uint64())
+			}
+		}
+		e.Step()
 	}
 	b.ReportMetric(float64(len(m.Cells)), "cells")
 }

@@ -19,6 +19,8 @@ func main() {
 	paths := flag.Bool("paths", true, "print the worst aged path per unit")
 	sweep := flag.Bool("sweep", false, "sweep lifetimes and report failure onset")
 	jobs := flag.Int("j", 0, "worker parallelism (0 = all CPUs, 1 = sequential)")
+	randomSP := flag.Int("random-sp", 0,
+		"profile-free mode: collect the SP profile from this many 64-lane packed cycles of uniform random stimulus instead of workload replay")
 	flag.Parse()
 
 	cfg := core.Config{Years: *years, Parallelism: *jobs}
@@ -26,6 +28,13 @@ func main() {
 	for _, mk := range []func(core.Config) *core.Workflow{core.NewALU, core.NewFPU} {
 		w := mk(cfg)
 		fmt.Printf("analyzing %s ...\n", w.Describe())
+		if *randomSP > 0 {
+			if _, err := w.RandomSPProfile(*randomSP, 1); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  SP profile: random stimulus, %d packed cycles (%d lane-cycles)\n",
+				*randomSP, w.SPProfile.Cycles)
+		}
 		if _, err := w.AgingAnalysis(); err != nil {
 			log.Fatal(err)
 		}

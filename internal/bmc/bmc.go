@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"repro/internal/cell"
+	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/netlist"
 	"repro/internal/sat"
@@ -115,6 +116,10 @@ func Cover(nl *netlist.Netlist, covers []fault.CoverPoint, cfg Config) *Result {
 	if len(covers) == 0 {
 		return &Result{Verdict: Unreachable, Depth: 0}
 	}
+	// Compile (or fetch) the program once: both deepening passes walk
+	// the same flattened instruction stream and precomputed DFF list
+	// instead of re-deriving cell order from the netlist per depth.
+	prog := engine.Cached(nl)
 	// Two-step deepening: a shallow unroll catches the common case
 	// cheaply; the full-bound unroll both finds deep traces and, when
 	// UNSAT, constitutes the unreachability proof (the bound exceeds the
@@ -124,7 +129,7 @@ func Cover(nl *netlist.Netlist, covers []fault.CoverPoint, cfg Config) *Result {
 		depths = []int{cfg.MaxDepth}
 	}
 	for _, depth := range depths {
-		u := newUnroller(nl, depth, cfg)
+		u := newUnroller(prog, depth, cfg)
 		st := u.solveCover(covers)
 		switch st {
 		case sat.Sat:
@@ -156,6 +161,7 @@ func Replay(nl *netlist.Netlist, tr *Trace) bool {
 
 type unroller struct {
 	nl    *netlist.Netlist
+	prog  *engine.Program
 	depth int
 	cfg   Config
 	s     *sat.Solver
@@ -168,8 +174,9 @@ type unroller struct {
 	constFalse int
 }
 
-func newUnroller(nl *netlist.Netlist, depth int, cfg Config) *unroller {
-	u := &unroller{nl: nl, depth: depth, cfg: cfg, s: sat.New()}
+func newUnroller(prog *engine.Program, depth int, cfg Config) *unroller {
+	nl := prog.Netlist
+	u := &unroller{nl: nl, prog: prog, depth: depth, cfg: cfg, s: sat.New()}
 	u.s.MaxConflicts = cfg.MaxConflicts
 	u.vars = make([][]int, depth)
 	for t := range u.vars {
@@ -190,9 +197,12 @@ func (u *unroller) lit(t int, n netlist.NetID, neg bool) sat.Lit {
 	return sat.MkLit(u.vars[t][n], neg)
 }
 
-// encode builds the full k-cycle CNF.
+// encode builds the full k-cycle CNF by walking the compiled program:
+// the flattened instruction stream supplies the combinational cells in
+// dependency order (the same order the evaluators use), and the
+// precomputed DFF list replaces the per-depth scans over all cells.
 func (u *unroller) encode() {
-	nl := u.nl
+	nl, prog := u.nl, u.prog
 
 	// Allocate input and state variables for every cycle.
 	for t := 0; t < u.depth; t++ {
@@ -204,33 +214,28 @@ func (u *unroller) encode() {
 				u.vars[t][n] = u.s.NewVar()
 			}
 		}
-		for _, c := range nl.Cells {
-			if c.Kind == cell.DFF {
-				u.vars[t][c.Out] = u.s.NewVar()
-			}
+		for i := range prog.DFFs {
+			u.vars[t][prog.DFFs[i].Out] = u.s.NewVar()
 		}
 	}
 
 	// Initial state: reset values.
-	for _, c := range nl.Cells {
-		if c.Kind == cell.DFF {
-			u.s.AddClause(sat.MkLit(u.vars[0][c.Out], !c.Init))
-		}
+	for i := range prog.DFFs {
+		f := &prog.DFFs[i]
+		u.s.AddClause(sat.MkLit(u.vars[0][f.Out], !f.Init))
 	}
 
 	// Combinational logic per cycle, then transitions.
 	for t := 0; t < u.depth; t++ {
-		for _, cid := range nl.Topo() {
-			u.encodeCell(t, &nl.Cells[cid])
+		for i := range prog.Ops {
+			u.encodeOp(t, &prog.Ops[i])
 		}
 		if t+1 < u.depth {
-			for _, c := range nl.Cells {
-				if c.Kind != cell.DFF {
-					continue
-				}
+			for i := range prog.DFFs {
+				f := &prog.DFFs[i]
 				// next = clk ? D : cur  (clock nets carry the enable).
-				next := u.vars[t+1][c.Out]
-				u.encodeMux(next, u.vars[t][c.Out], u.vars[t][c.In[0]], u.vars[t][c.Clk])
+				next := u.vars[t+1][f.Out]
+				u.encodeMux(next, u.vars[t][f.Out], u.vars[t][f.D], u.vars[t][f.Clk])
 			}
 		}
 		u.encodeAssumes(t)
@@ -277,47 +282,45 @@ func (u *unroller) out(t int, n netlist.NetID) int {
 	return u.vars[t][n]
 }
 
-func (u *unroller) encodeCell(t int, c *netlist.Cell) {
+func (u *unroller) encodeOp(t int, op *engine.Op) {
 	s := u.s
-	switch c.Kind {
+	switch op.Kind {
 	case cell.TIE0:
-		u.vars[t][c.Out] = u.constFalse
+		u.vars[t][op.Out] = u.constFalse
 	case cell.TIE1:
-		u.vars[t][c.Out] = u.constTrue
+		u.vars[t][op.Out] = u.constTrue
 	case cell.BUF, cell.CLKBUF:
-		u.vars[t][c.Out] = u.vars[t][c.In[0]]
+		u.vars[t][op.Out] = u.vars[t][op.In[0]]
 	case cell.INV:
-		y := u.out(t, c.Out)
-		a := u.vars[t][c.In[0]]
+		y := u.out(t, netlist.NetID(op.Out))
+		a := u.vars[t][op.In[0]]
 		s.AddClause(sat.MkLit(y, false), sat.MkLit(a, false))
 		s.AddClause(sat.MkLit(y, true), sat.MkLit(a, true))
 	case cell.AND2, cell.CLKGATE:
-		u.encodeAnd(u.out(t, c.Out), u.vars[t][c.In[0]], u.vars[t][c.In[1]], false)
+		u.encodeAnd(u.out(t, netlist.NetID(op.Out)), u.vars[t][op.In[0]], u.vars[t][op.In[1]], false)
 	case cell.NAND2:
-		u.encodeAnd(u.out(t, c.Out), u.vars[t][c.In[0]], u.vars[t][c.In[1]], true)
+		u.encodeAnd(u.out(t, netlist.NetID(op.Out)), u.vars[t][op.In[0]], u.vars[t][op.In[1]], true)
 	case cell.OR2:
-		u.encodeOr(u.out(t, c.Out), u.vars[t][c.In[0]], u.vars[t][c.In[1]], false)
+		u.encodeOr(u.out(t, netlist.NetID(op.Out)), u.vars[t][op.In[0]], u.vars[t][op.In[1]], false)
 	case cell.NOR2:
-		u.encodeOr(u.out(t, c.Out), u.vars[t][c.In[0]], u.vars[t][c.In[1]], true)
+		u.encodeOr(u.out(t, netlist.NetID(op.Out)), u.vars[t][op.In[0]], u.vars[t][op.In[1]], true)
 	case cell.XOR2:
-		u.encodeXor(u.out(t, c.Out), u.vars[t][c.In[0]], u.vars[t][c.In[1]], false)
+		u.encodeXor(u.out(t, netlist.NetID(op.Out)), u.vars[t][op.In[0]], u.vars[t][op.In[1]], false)
 	case cell.XNOR2:
-		u.encodeXor(u.out(t, c.Out), u.vars[t][c.In[0]], u.vars[t][c.In[1]], true)
+		u.encodeXor(u.out(t, netlist.NetID(op.Out)), u.vars[t][op.In[0]], u.vars[t][op.In[1]], true)
 	case cell.MUX2:
-		u.encodeMux(u.out(t, c.Out), u.vars[t][c.In[0]], u.vars[t][c.In[1]], u.vars[t][c.In[2]])
+		u.encodeMux(u.out(t, netlist.NetID(op.Out)), u.vars[t][op.In[0]], u.vars[t][op.In[1]], u.vars[t][op.In[2]])
 	case cell.AOI21:
 		// y = !((a&b)|c): tmp = a&b; y = !(tmp|c).
 		tmp := u.s.NewVar()
-		u.encodeAnd(tmp, u.vars[t][c.In[0]], u.vars[t][c.In[1]], false)
-		u.encodeOr(u.out(t, c.Out), tmp, u.vars[t][c.In[2]], true)
+		u.encodeAnd(tmp, u.vars[t][op.In[0]], u.vars[t][op.In[1]], false)
+		u.encodeOr(u.out(t, netlist.NetID(op.Out)), tmp, u.vars[t][op.In[2]], true)
 	case cell.OAI21:
 		tmp := u.s.NewVar()
-		u.encodeOr(tmp, u.vars[t][c.In[0]], u.vars[t][c.In[1]], false)
-		u.encodeAnd(u.out(t, c.Out), tmp, u.vars[t][c.In[2]], true)
-	case cell.DFF:
-		// handled by the transition relation
+		u.encodeOr(tmp, u.vars[t][op.In[0]], u.vars[t][op.In[1]], false)
+		u.encodeAnd(u.out(t, netlist.NetID(op.Out)), tmp, u.vars[t][op.In[2]], true)
 	default:
-		panic("bmc: cannot encode " + c.Kind.String())
+		panic("bmc: cannot encode " + op.Kind.String())
 	}
 }
 

@@ -38,6 +38,12 @@ const (
 // NumKinds reports the number of cell kinds in the library.
 const NumKinds = int(numKinds)
 
+// MaxArity is the largest data fan-in of any cell in the library. The
+// evaluation engine (internal/engine) flattens every cell's input list
+// into a fixed-width array of this size, and netlist validation rejects
+// cells that exceed it, so the engine can never silently drop an input.
+const MaxArity = 3
+
 var names = [...]string{
 	TIE0: "TIE0", TIE1: "TIE1", BUF: "BUF", INV: "INV",
 	AND2: "AND2", OR2: "OR2", NAND2: "NAND2", NOR2: "NOR2",

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/aging"
+	"repro/internal/alu"
 	"repro/internal/cell"
 	"repro/internal/lift"
 	"repro/internal/par"
@@ -96,6 +97,36 @@ func TestParallelismDeterminismSweeps(t *testing.T) {
 	v8 := w8.VsRandom(w8.Suite(), 2)
 	if !reflect.DeepEqual(v1, v8) {
 		t.Errorf("VsRandom rows differ: %+v vs %+v", v1, v8)
+	}
+}
+
+// TestRandomSPDeterminism extends the determinism regression to the
+// packed evaluator: the 64-lane random-stimulus profile must be
+// byte-identical at every Parallelism setting (chunk boundaries and
+// per-chunk seeds depend only on cycles and chunk index), and must
+// change when the seed does.
+func TestRandomSPDeterminism(t *testing.T) {
+	nl := alu.Build().Netlist
+	p1, err := RandomSP(nl, 200, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p8, err := RandomSP(nl, 200, 7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1, p8) {
+		t.Error("packed random-SP profiles differ between Parallelism=1 and Parallelism=8")
+	}
+	if p1.Cycles != 200*64 {
+		t.Errorf("profile covers %d lane-cycles, want %d", p1.Cycles, 200*64)
+	}
+	other, err := RandomSP(nl, 200, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(p1, other) {
+		t.Error("different seeds produced identical random-SP profiles")
 	}
 }
 

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/engine"
+	"repro/internal/netlist"
+	"repro/internal/par"
+	"repro/internal/sim"
+)
+
+// randomSPChunks is the fixed partition width of the packed
+// random-stimulus SP profile. Like profileChunks it is a constant — not
+// Config.Parallelism — because chunk boundaries define where the
+// evaluator's state resets and where the per-chunk stimulus seeds
+// rebase, and both must be independent of the worker count for the
+// profile to be byte-identical at every Parallelism setting.
+const randomSPChunks = 16
+
+// RandomSP collects a synthetic signal-probability profile of a netlist
+// under uniform random stimulus through the engine's 64-lane packed
+// evaluator: each packed cycle advances 64 independent random stimulus
+// streams, with residency accumulated exactly via popcount. `cycles`
+// counts packed cycles, so the profile covers cycles x 64 lane-cycles of
+// observation.
+//
+// This is the profile-free screening mode: when no representative
+// workload exists (or a pessimism-free baseline is wanted), random
+// stimulus approximates the SP ~ 0.5 equilibrium that an unknown
+// workload mix drives most data nets toward, and the aging STA can run
+// on it directly. The workload-driven profile in ProfileWorkloads
+// remains the paper-faithful path and is byte-identical to the scalar
+// replay; RandomSP is an additional, packed-native workload.
+//
+// Work is partitioned into fixed chunks; chunk ci derives its stimulus
+// seed as par.Seed(seed, ci) and starts from reset, so the merged
+// profile is a function of (netlist, cycles, seed) alone — never of
+// parallelism or scheduling.
+func RandomSP(nl *netlist.Netlist, cycles int, seed int64, parallelism int) (*sim.Profile, error) {
+	if cycles <= 0 {
+		return &sim.Profile{}, nil
+	}
+	prog := engine.Cached(nl)
+	chunks := randomSPChunks
+	if cycles < chunks {
+		chunks = cycles
+	}
+	parts, err := par.Map(context.Background(), chunks, parallelism,
+		func(_ context.Context, ci int) (*sim.Profile, error) {
+			lo := ci * cycles / chunks
+			hi := (ci + 1) * cycles / chunks
+			return engine.RandomProfile(prog, hi-lo, par.Seed(seed, ci)), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return sim.MergeProfiles(parts...), nil
+}
+
+// RandomSPProfile runs RandomSP over the workflow's module and installs
+// the result as the workflow's SP profile, so a subsequent AgingAnalysis
+// consumes synthetic random-stimulus SPs instead of workload-driven
+// ones.
+func (w *Workflow) RandomSPProfile(cycles int, seed int64) (*sim.Profile, error) {
+	p, err := RandomSP(w.Module.Netlist, cycles, seed, w.Config.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	w.SPProfile = p
+	return p, nil
+}

@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/netlist"
+)
+
+// The program cache keys compiled programs by netlist identity.
+// Netlists are immutable after Build (instrumentation passes construct
+// new ones through NewBuilderFrom), so pointer identity is a sound key.
+//
+// The cache exists because the workflow replays the same few netlists
+// thousands of times from many goroutines: the module netlist behind
+// every profiling chunk and every netlist-backed CPU, and one failing
+// netlist per (pair, failure-mode) task whose whole suite replay runs on
+// it. Caching makes the compile a once-per-netlist cost shared read-only
+// across the PR 1 worker pool instead of a per-simulator cost.
+//
+// Failing netlists are transient — each test-quality task builds one,
+// replays the suite, and drops it — so an unbounded map would grow with
+// the experiment. The cache is bounded: when it reaches cacheCap entries
+// it is wiped and rebuilt from demand. Eviction only costs a recompile,
+// never correctness.
+const cacheCap = 512
+
+var cache = struct {
+	sync.Mutex
+	m map[*netlist.Netlist]*Program
+}{m: make(map[*netlist.Netlist]*Program)}
+
+// Cached returns the compiled program for nl, compiling and memoizing it
+// on first use. Safe for concurrent use; the returned program is shared
+// and read-only.
+func Cached(nl *netlist.Netlist) *Program {
+	cache.Lock()
+	defer cache.Unlock()
+	if p, ok := cache.m[nl]; ok {
+		return p
+	}
+	if len(cache.m) >= cacheCap {
+		cache.m = make(map[*netlist.Netlist]*Program)
+	}
+	p := Compile(nl)
+	cache.m[nl] = p
+	return p
+}
+
+// CacheSize reports the number of memoized programs (for tests).
+func CacheSize() int {
+	cache.Lock()
+	defer cache.Unlock()
+	return len(cache.m)
+}

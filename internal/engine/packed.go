@@ -1,0 +1,248 @@
+package engine
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// Lanes is the width of the packed evaluator: one uint64 word per net,
+// each bit position an independent stimulus stream.
+const Lanes = 64
+
+// Packed is the 64-lane bit-parallel interpreter over a compiled
+// program. Every net holds a uint64 word; bit l of every word belongs to
+// lane l, an independent simulation advancing in lock-step with the
+// other 63. One Settle costs about the same as a scalar Settle (the ALU
+// operates on words either way), so evaluating 64 stimulus streams per
+// pass is where the throughput win comes from.
+//
+// SP residency is accumulated in aggregate across lanes via popcount:
+// each cycle a data net adds OnesCount64(word) — the exact number of
+// lanes observing a logical 1 — and a clock-network net adds half that
+// (a running clock spends half of each period high; a gated-off clock
+// idles low, contributing nothing). Counts are integers (halves for
+// clock nets) accumulated in float64, so sums stay exact far beyond any
+// realistic observation length (2^53 half-cycles).
+//
+// A Packed is not safe for concurrent use; create one per goroutine.
+// The compiled program it runs is shared read-only.
+type Packed struct {
+	prog   *Program
+	vals   []uint64 // current word of every net
+	dffBuf []uint64 // staged DFF next-state, one word per flip-flop
+	cycles uint64
+
+	spEnabled bool
+	spOnes    []float64 // per net: aggregate lane-residency (lane-cycles)
+}
+
+// NewPacked creates a packed evaluator in the reset state: all DFFs hold
+// their Init value in every lane and all primary inputs are 0.
+func NewPacked(p *Program) *Packed {
+	e := &Packed{
+		prog:   p,
+		vals:   make([]uint64, p.NumNets),
+		dffBuf: make([]uint64, len(p.DFFs)),
+	}
+	e.Reset()
+	return e
+}
+
+// Program returns the compiled program under evaluation.
+func (e *Packed) Program() *Program { return e.prog }
+
+// Reset re-applies reset values in every lane and zeroes the cycle
+// counter. SP counters are preserved (call ResetSP to clear), matching
+// the scalar simulator's Reset contract.
+func (e *Packed) Reset() {
+	for i := range e.vals {
+		e.vals[i] = 0
+	}
+	if e.prog.ClockRoot >= 0 {
+		e.vals[e.prog.ClockRoot] = ^uint64(0) // clock enabled in every lane
+	}
+	for i := range e.prog.DFFs {
+		if e.prog.DFFs[i].Init {
+			e.vals[e.prog.DFFs[i].Out] = ^uint64(0)
+		}
+	}
+	e.cycles = 0
+}
+
+// EnableSP turns on aggregate signal-probability accumulation.
+func (e *Packed) EnableSP() {
+	e.spEnabled = true
+	if e.spOnes == nil {
+		e.spOnes = make([]float64, e.prog.NumNets)
+	}
+}
+
+// ResetSP clears accumulated SP counters.
+func (e *Packed) ResetSP() {
+	for i := range e.spOnes {
+		e.spOnes[i] = 0
+	}
+}
+
+// Cycles returns the number of executed packed cycles (each advancing
+// all 64 lanes by one clock cycle).
+func (e *Packed) Cycles() uint64 { return e.cycles }
+
+// SetNet drives net n with a full word: bit l is the value lane l sees.
+func (e *Packed) SetNet(n netlist.NetID, word uint64) { e.vals[n] = word }
+
+// Net reads the current (settled or not — callers settle explicitly)
+// word of net n.
+func (e *Packed) Net(n netlist.NetID) uint64 { return e.vals[n] }
+
+// Lane reads the value of net n in a single lane.
+func (e *Packed) Lane(n netlist.NetID, lane int) bool {
+	return e.vals[n]>>uint(lane)&1 == 1
+}
+
+// SetInput drives every bit of a named input port with per-lane words:
+// words[i] is the word of port bit i (LSB first). The word count must
+// match the port width.
+func (e *Packed) SetInput(name string, words []uint64) {
+	p, ok := e.prog.Netlist.FindInput(name)
+	if !ok {
+		panic(fmt.Sprintf("engine: no input port %q on %s", name, e.prog.Netlist.Name))
+	}
+	if len(words) != len(p.Bits) {
+		panic(fmt.Sprintf("engine: port %q width %d, got %d words", name, len(p.Bits), len(words)))
+	}
+	for i, n := range p.Bits {
+		e.vals[n] = words[i]
+	}
+}
+
+// Settle propagates all 64 lanes through the combinational logic (and
+// the clock network) in program order.
+func (e *Packed) Settle() {
+	vals := e.vals
+	ops := e.prog.Ops
+	for _, r := range e.prog.Runs {
+		run := ops[r.Lo:r.Hi]
+		switch r.Kind {
+		case cell.TIE0:
+			for i := range run {
+				vals[run[i].Out] = 0
+			}
+		case cell.TIE1:
+			for i := range run {
+				vals[run[i].Out] = ^uint64(0)
+			}
+		case cell.BUF, cell.CLKBUF:
+			for i := range run {
+				vals[run[i].Out] = vals[run[i].In[0]]
+			}
+		case cell.INV:
+			for i := range run {
+				vals[run[i].Out] = ^vals[run[i].In[0]]
+			}
+		case cell.AND2, cell.CLKGATE:
+			for i := range run {
+				vals[run[i].Out] = vals[run[i].In[0]] & vals[run[i].In[1]]
+			}
+		case cell.OR2:
+			for i := range run {
+				vals[run[i].Out] = vals[run[i].In[0]] | vals[run[i].In[1]]
+			}
+		case cell.NAND2:
+			for i := range run {
+				vals[run[i].Out] = ^(vals[run[i].In[0]] & vals[run[i].In[1]])
+			}
+		case cell.NOR2:
+			for i := range run {
+				vals[run[i].Out] = ^(vals[run[i].In[0]] | vals[run[i].In[1]])
+			}
+		case cell.XOR2:
+			for i := range run {
+				vals[run[i].Out] = vals[run[i].In[0]] ^ vals[run[i].In[1]]
+			}
+		case cell.XNOR2:
+			for i := range run {
+				vals[run[i].Out] = ^(vals[run[i].In[0]] ^ vals[run[i].In[1]])
+			}
+		case cell.MUX2:
+			for i := range run {
+				s := vals[run[i].In[2]]
+				vals[run[i].Out] = (vals[run[i].In[0]] &^ s) | (vals[run[i].In[1]] & s)
+			}
+		case cell.AOI21:
+			for i := range run {
+				vals[run[i].Out] = ^((vals[run[i].In[0]] & vals[run[i].In[1]]) | vals[run[i].In[2]])
+			}
+		case cell.OAI21:
+			for i := range run {
+				vals[run[i].Out] = ^((vals[run[i].In[0]] | vals[run[i].In[1]]) & vals[run[i].In[2]])
+			}
+		default:
+			panic("engine: cannot evaluate " + r.Kind.String())
+		}
+	}
+}
+
+// Step completes one cycle in all lanes: settle, sample SP, then apply
+// the rising clock edge per lane — a flip-flop's lane samples D only
+// where its clock word is high, so clock gating acts independently per
+// lane, exactly like the scalar simulator's per-cycle enable check.
+func (e *Packed) Step() {
+	e.Settle()
+	if e.spEnabled {
+		e.sampleSP()
+	}
+	vals := e.vals
+	dffs := e.prog.DFFs
+	for i := range dffs {
+		f := &dffs[i]
+		clk := vals[f.Clk]
+		e.dffBuf[i] = (vals[f.D] & clk) | (vals[f.Out] &^ clk)
+	}
+	for i := range dffs {
+		vals[dffs[i].Out] = e.dffBuf[i]
+	}
+	e.cycles++
+}
+
+// Run executes n cycles with the current inputs.
+func (e *Packed) Run(n int) {
+	for i := 0; i < n; i++ {
+		e.Step()
+	}
+}
+
+// sampleSP accumulates one cycle of aggregate residency across lanes.
+func (e *Packed) sampleSP() {
+	for _, n := range e.prog.dataNets {
+		e.spOnes[n] += float64(bits.OnesCount64(e.vals[n]))
+	}
+	for _, n := range e.prog.clockNets {
+		e.spOnes[n] += 0.5 * float64(bits.OnesCount64(e.vals[n]))
+	}
+}
+
+// Profile snapshots the accumulated SP counters. Cycles counts
+// lane-cycles (packed cycles x 64): each lane is a full, independent
+// observation, so a packed profile merges with scalar partial profiles
+// through MergeProfiles without any special casing — the Ones counters
+// are the same "sum over observed cycles of per-cycle residency"
+// quantity, just summed over 64 streams at once.
+func (e *Packed) Profile() *Profile {
+	p := &Profile{
+		Cycles: e.cycles * Lanes,
+		SP:     make([]float64, e.prog.NumNets),
+		Ones:   make([]float64, e.prog.NumNets),
+	}
+	copy(p.Ones, e.spOnes)
+	if p.Cycles == 0 {
+		return p
+	}
+	for n := range p.SP {
+		p.SP[n] = p.Ones[n] / float64(p.Cycles)
+	}
+	return p
+}

@@ -1,0 +1,41 @@
+package engine
+
+// splitmix64 is the per-stream generator behind the random-stimulus
+// profiler: tiny state, full 64-bit output (one fresh word = 64
+// independent lane bits), and seedable from par.Seed-derived task seeds
+// so parallel chunks never share generator state.
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := uint64(*s)
+	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	return z ^ z>>31
+}
+
+// RandomProfile collects an aggregate SP profile of the compiled program
+// under uniform random stimulus: every bit of every input port is driven
+// with a fresh random word each cycle, so one packed cycle advances 64
+// independent random stimulus streams. The result covers cycles x 64
+// lane-cycles of observation.
+//
+// The profile is a deterministic function of (program, cycles, seed)
+// alone — lane l's stream is fixed by the seed, not by scheduling — which
+// is what lets the parallel chunked profiler in internal/core partition
+// work freely while staying byte-identical at every Parallelism setting.
+func RandomProfile(p *Program, cycles int, seed int64) *Profile {
+	e := NewPacked(p)
+	e.EnableSP()
+	rng := splitmix64(seed)
+	inputs := p.Netlist.Inputs
+	for c := 0; c < cycles; c++ {
+		for _, port := range inputs {
+			for _, n := range port.Bits {
+				e.vals[n] = rng.next()
+			}
+		}
+		e.Step()
+	}
+	return e.Profile()
+}

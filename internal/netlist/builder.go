@@ -264,6 +264,14 @@ func (nl *Netlist) rebuild() error {
 	}
 	used := make([]bool, nl.NumNets)
 	for _, c := range nl.Cells {
+		// The evaluation engine flattens input lists into fixed
+		// cell.MaxArity-wide arrays (and the old interpreter's settle
+		// buffer had the same silent cap); reject oversized fan-in here so
+		// it can never silently drop an input downstream.
+		if len(c.In) > cell.MaxArity {
+			return fmt.Errorf("cell %s (%s) has %d inputs; the evaluation engine supports at most %d",
+				c.Name, c.Kind, len(c.In), cell.MaxArity)
+		}
 		for _, in := range c.In {
 			if in < 0 || int(in) >= nl.NumNets {
 				return fmt.Errorf("cell %s reads invalid net %d", c.Name, in)

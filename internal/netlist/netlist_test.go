@@ -1,6 +1,7 @@
 package netlist
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -118,6 +119,30 @@ func TestWrongArityRejected(t *testing.T) {
 	b.Add(cell.AND2, x) // one input to a 2-input gate
 	if _, err := b.Build(); err == nil {
 		t.Fatal("want arity error")
+	}
+}
+
+// TestOversizedFanInRejected proves Build rejects cells whose fan-in
+// exceeds the evaluation engine's cell.MaxArity cap. The old simulator
+// silently truncated such cells at its settle buffer (`var inBuf
+// [3]bool`); now they cannot reach any evaluator at all. AddRaw is the
+// only constructor that skips per-kind arity checks, so it is the route
+// an oversized cell could have slipped through.
+func TestOversizedFanInRejected(t *testing.T) {
+	b := NewBuilder("bad")
+	ins := make([]NetID, cell.MaxArity+1)
+	for i := range ins {
+		ins[i] = b.Input(fmt.Sprintf("x%d", i))
+	}
+	y := b.Net()
+	b.AddRaw(cell.AND2, "wide", ins, NoNet, y, false)
+	b.Output("y", y)
+	_, err := b.Build()
+	if err == nil || !strings.Contains(err.Error(), "at most") {
+		t.Fatalf("want engine-arity error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "wide") {
+		t.Errorf("error should name the offending cell: %v", err)
 	}
 }
 

@@ -9,12 +9,20 @@
 // free-running clock that keeps ticking even when the circuit's own clock
 // is gated off. In this simulator the free-running clock is the Step()
 // call itself, so gated-off cells still accumulate residency every cycle.
+//
+// Since the compiled evaluation engine landed, Simulator is a thin facade
+// over internal/engine's scalar interpreter: the netlist is lowered once
+// into a shared read-only engine.Program (cached by netlist identity) and
+// every Settle walks the flat instruction stream instead of the raw cell
+// graph. The public API, SP semantics, and waveform recording are
+// unchanged, and results are byte-identical to the pre-engine
+// interpreter.
 package sim
 
 import (
 	"fmt"
 
-	"repro/internal/cell"
+	"repro/internal/engine"
 	"repro/internal/netlist"
 )
 
@@ -22,8 +30,9 @@ import (
 // use; create one per goroutine.
 type Simulator struct {
 	nl     *netlist.Netlist
+	prog   *engine.Program
 	vals   []bool // current value of every net
-	next   []bool // staged DFF outputs
+	next   []bool // staged DFF next-state, one slot per flip-flop
 	dirty  bool   // inputs changed since last settle
 	cycles uint64
 
@@ -32,17 +41,17 @@ type Simulator struct {
 
 	recordNets []netlist.NetID
 	waves      [][]bool
-
-	clockNetCache []bool
 }
 
 // New creates a simulator in the reset state: all DFFs hold their Init
 // value and all primary inputs are 0.
 func New(nl *netlist.Netlist) *Simulator {
+	prog := engine.Cached(nl)
 	s := &Simulator{
 		nl:   nl,
+		prog: prog,
 		vals: make([]bool, nl.NumNets),
-		next: make([]bool, nl.NumNets),
+		next: make([]bool, len(prog.DFFs)),
 	}
 	s.Reset()
 	return s
@@ -51,22 +60,15 @@ func New(nl *netlist.Netlist) *Simulator {
 // Netlist returns the simulated design.
 func (s *Simulator) Netlist() *netlist.Netlist { return s.nl }
 
+// Program returns the compiled program the simulator runs on.
+func (s *Simulator) Program() *engine.Program { return s.prog }
+
 // Reset re-applies reset values to all flip-flops, clears inputs, and
 // zeroes the cycle counter. SP counters and recorded waveforms are
 // preserved so multi-run profiles can accumulate; call ResetSP to clear
 // them.
 func (s *Simulator) Reset() {
-	for i := range s.vals {
-		s.vals[i] = false
-	}
-	if s.nl.ClockRoot != netlist.NoNet {
-		s.vals[s.nl.ClockRoot] = true // clock enabled
-	}
-	for _, c := range s.nl.Cells {
-		if c.Kind == cell.DFF {
-			s.vals[c.Out] = c.Init
-		}
-	}
+	s.prog.ResetScalar(s.vals)
 	s.cycles = 0
 	s.dirty = true
 }
@@ -133,28 +135,15 @@ func (s *Simulator) Settle() {
 	if !s.dirty {
 		return
 	}
-	var inBuf [3]bool
-	for _, cid := range s.nl.Topo() {
-		c := &s.nl.Cells[cid]
-		switch c.Kind {
-		case cell.CLKBUF:
-			s.vals[c.Out] = s.vals[c.In[0]]
-		case cell.CLKGATE:
-			s.vals[c.Out] = s.vals[c.In[0]] && s.vals[c.In[1]]
-		default:
-			in := inBuf[:len(c.In)]
-			for i, n := range c.In {
-				in[i] = s.vals[n]
-			}
-			s.vals[c.Out] = c.Kind.Eval(in)
-		}
-	}
+	s.prog.Settle(s.vals)
 	s.dirty = false
 }
 
 // Step completes the current cycle: settle, sample SP counters and
 // waveforms, then apply the rising clock edge to every DFF whose clock net
-// is enabled.
+// is enabled. The flip-flop update runs over the program's precomputed
+// DFF list — not a scan of all cells — with the staged next-state held in
+// a per-flip-flop scratch buffer.
 func (s *Simulator) Step() {
 	s.Settle()
 	if s.spEnabled {
@@ -167,23 +156,7 @@ func (s *Simulator) Step() {
 		}
 		s.waves = append(s.waves, row)
 	}
-	for i := range s.nl.Cells {
-		c := &s.nl.Cells[i]
-		if c.Kind != cell.DFF {
-			continue
-		}
-		if s.vals[c.Clk] { // clock enabled this cycle
-			s.next[c.Out] = s.vals[c.In[0]]
-		} else {
-			s.next[c.Out] = s.vals[c.Out]
-		}
-	}
-	for i := range s.nl.Cells {
-		c := &s.nl.Cells[i]
-		if c.Kind == cell.DFF {
-			s.vals[c.Out] = s.next[c.Out]
-		}
-	}
+	s.prog.StepDFFs(s.vals, s.next)
 	s.cycles++
 	s.dirty = true
 }
@@ -200,7 +173,7 @@ func (s *Simulator) Run(n int) {
 // is running (it spends half of each period high) and 0.0 when gated off
 // (a gated clock idles low).
 func (s *Simulator) sampleSP() {
-	isClockNet := s.clockNets()
+	isClockNet := s.prog.IsClockNet
 	for n := 0; n < s.nl.NumNets; n++ {
 		switch {
 		case isClockNet[n]:
@@ -211,25 +184,6 @@ func (s *Simulator) sampleSP() {
 			s.spOnes[n] += 1.0
 		}
 	}
-}
-
-// clockNets lazily computes which nets belong to the clock network (the
-// clock root plus every clock-cell output).
-func (s *Simulator) clockNets() []bool {
-	if s.clockNetCache != nil {
-		return s.clockNetCache
-	}
-	m := make([]bool, s.nl.NumNets)
-	if s.nl.ClockRoot != netlist.NoNet {
-		m[s.nl.ClockRoot] = true
-	}
-	for _, c := range s.nl.Cells {
-		if c.Kind.IsClock() {
-			m[c.Out] = true
-		}
-	}
-	s.clockNetCache = m
-	return m
 }
 
 // Output reads a (multi-bit) output port as a uint64 (LSB first), after
@@ -264,17 +218,11 @@ func (s *Simulator) SP(n netlist.NetID) float64 {
 }
 
 // Profile is a per-net signal-probability profile plus the observation
-// length, consumed by the aging analysis.
-type Profile struct {
-	Cycles uint64
-	SP     []float64 // indexed by NetID
-	// Ones holds the raw per-net residency counters SP is derived from
-	// (multiples of 0.5, so sums over partial profiles are exact in
-	// float64). They make profiles mergeable without re-rounding: the
-	// parallel workload-profiling path collects one partial profile per
-	// task and MergeProfiles reconstructs the exact combined SP.
-	Ones []float64
-}
+// length, consumed by the aging analysis. It is an alias of the engine's
+// profile type: both the scalar simulator and the 64-lane packed
+// evaluator produce the same artifact, and partial profiles from either
+// merge through MergeProfiles.
+type Profile = engine.Profile
 
 // Profile snapshots the accumulated SP counters.
 func (s *Simulator) Profile() *Profile {
@@ -295,42 +243,8 @@ func (s *Simulator) Profile() *Profile {
 
 // MergeProfiles combines partial profiles collected on the same netlist
 // (same net count) into one, as if a single simulator had observed all
-// cycles. Profiles with zero cycles contribute nothing. The raw Ones
-// counters are summed in argument order and are exact multiples of 0.5,
-// so the result is independent of how the observation was partitioned —
-// the invariant the parallel profiling path relies on.
+// cycles. See engine.MergeProfiles for the exactness contract the
+// parallel profiling path relies on.
 func MergeProfiles(ps ...*Profile) *Profile {
-	nets := 0
-	for _, p := range ps {
-		if p != nil && len(p.Ones) > nets {
-			nets = len(p.Ones)
-		}
-	}
-	out := &Profile{SP: make([]float64, nets), Ones: make([]float64, nets)}
-	for _, p := range ps {
-		if p == nil || p.Cycles == 0 {
-			continue
-		}
-		out.Cycles += p.Cycles
-		for n, v := range p.Ones {
-			out.Ones[n] += v
-		}
-	}
-	if out.Cycles == 0 {
-		return out
-	}
-	for n := range out.SP {
-		out.SP[n] = out.Ones[n] / float64(out.Cycles)
-	}
-	return out
-}
-
-// CellSP returns the SP of every cell's output net, keyed by CellID — the
-// shape of the paper's Table 1.
-func (p *Profile) CellSP(nl *netlist.Netlist) map[netlist.CellID]float64 {
-	m := make(map[netlist.CellID]float64, len(nl.Cells))
-	for i, c := range nl.Cells {
-		m[netlist.CellID(i)] = p.SP[c.Out]
-	}
-	return m
+	return engine.MergeProfiles(ps...)
 }
