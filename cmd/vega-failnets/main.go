@@ -13,8 +13,10 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/bmc"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/lift"
 	"repro/internal/netlist"
 )
 
@@ -23,6 +25,7 @@ func main() {
 	unit := flag.String("unit", "ALU", "unit to export (ALU or FPU)")
 	limit := flag.Int("limit", 0, "max pairs to export (0 = all)")
 	jobs := flag.Int("j", 0, "worker parallelism (0 = all CPUs, 1 = sequential)")
+	cover := flag.Bool("cover", false, "run incremental BMC per exported pair and report minimal cover depths + solver stats")
 	flag.Parse()
 
 	var w *core.Workflow
@@ -44,6 +47,8 @@ func main() {
 	}
 
 	written := 0
+	var agg bmc.Stats
+	covered := 0
 	for i, p := range res.Pairs {
 		if *limit > 0 && i >= *limit {
 			break
@@ -79,7 +84,28 @@ func main() {
 				log.Fatal(err)
 			}
 			written++
+
+			// Trace generation requires a constant C (0 or 1); CRandom
+			// exists only as an emulation artifact.
+			if *cover && c != fault.CRandom {
+				inst := fault.ShadowReplica(w.Module.Netlist, spec)
+				r := bmc.Cover(inst.Netlist, inst.Covers, lift.BMCConfig(w.Module, lift.Config{}))
+				agg = agg.Add(r.Stats)
+				if r.Verdict == bmc.Covered {
+					covered++
+					fmt.Printf("  %-40s minimal depth %d (conflicts %d)\n",
+						spec.Name(w.Module.Netlist), r.Depth, r.Stats.Solver.Conflicts)
+				} else {
+					fmt.Printf("  %-40s %v at depth %d (conflicts %d)\n",
+						spec.Name(w.Module.Netlist), r.Verdict, r.Depth, r.Stats.Solver.Conflicts)
+				}
+			}
 		}
 	}
 	fmt.Printf("wrote %d failing netlists to %s (all verified by parse-back)\n", written, *outDir)
+	if *cover {
+		fmt.Printf("cover summary: %d covered; solver totals: %d solves, %d vars, %d clauses, %d conflicts, %d propagations, %d restarts, %d learnts\n",
+			covered, agg.Solves, agg.Vars, agg.Clauses,
+			agg.Solver.Conflicts, agg.Solver.Propagations, agg.Solver.Restarts, agg.Solver.Learnts)
+	}
 }

@@ -18,13 +18,22 @@ func main() {
 	jobs := flag.Int("j", 0, "worker parallelism (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
 
-	var t4rows, t5rows [][]string
+	var t4rows, t5rows, statRows [][]string
 	for _, mitigation := range []bool{false, true} {
 		for _, mk := range []func(core.Config) *core.Workflow{core.NewALU, core.NewFPU} {
 			w := mk(core.Config{Years: *years, Parallelism: *jobs, Lift: lift.Config{Mitigation: mitigation}})
 			fmt.Printf("lifting %s (mitigation=%v) ...\n", w.Describe(), mitigation)
 			if _, err := w.ErrorLifting(); err != nil {
 				log.Fatal(err)
+			}
+			for _, os := range w.LiftStats() {
+				statRows = append(statRows, []string{
+					w.Module.Name, cfgName(mitigation), os.Outcome.String(),
+					fmt.Sprint(os.Attempts), depthSpan(os.MinDepth, os.MaxDepth),
+					fmt.Sprint(os.Stats.Solves), fmt.Sprint(os.Stats.Solver.Conflicts),
+					fmt.Sprint(os.Stats.Solver.Propagations), fmt.Sprint(os.Stats.Solver.Restarts),
+					fmt.Sprint(os.Stats.Solver.Learnts),
+				})
 			}
 			t4 := core.Table4(w.Module.Name, mitigation, w.Results)
 			t4rows = append(t4rows, []string{
@@ -50,6 +59,10 @@ func main() {
 	fmt.Println("\nTable 5 — test cases generated and execution cycles:")
 	fmt.Print(report.Table(
 		[]string{"Unit", "Config", "Test Cases", "Cycles"}, t5rows))
+	fmt.Println("\nSolver effort per outcome (incremental BMC; Depth is minimal for S):")
+	fmt.Print(report.Table(
+		[]string{"Unit", "Config", "Outcome", "Attempts", "Depth", "Solves",
+			"Conflicts", "Propagations", "Restarts", "Learnts"}, statRows))
 }
 
 func cfgName(mitigation bool) string {
@@ -57,4 +70,12 @@ func cfgName(mitigation bool) string {
 		return "w/ mitigation"
 	}
 	return "w/o mitigation"
+}
+
+// depthSpan renders a min–max depth range, collapsing equal bounds.
+func depthSpan(lo, hi int) string {
+	if lo == hi {
+		return fmt.Sprint(lo)
+	}
+	return fmt.Sprintf("%d-%d", lo, hi)
 }

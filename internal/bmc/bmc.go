@@ -1,9 +1,20 @@
 // Package bmc implements bounded model checking over netlists: it unrolls
-// the synchronous circuit k cycles into CNF (Tseitin encoding), adds the
-// caller's assume-constraints on input ports, and asks the CDCL solver
+// the synchronous circuit cycle by cycle into CNF (Tseitin encoding), adds
+// the caller's assume-constraints on input ports, and asks the CDCL solver
 // (internal/sat) for an input sequence satisfying a cover property — the
 // same `cover property (o != o_s)` query the paper hands to JasperGold in
 // its Trace Generation step (§3.3.3).
+//
+// Cover solves incrementally: one solver per fault spec. The transition
+// relation is encoded frame by frame as the bound deepens, each depth's
+// cover disjunction is guarded by a fresh activation literal and asserted
+// via assumptions, and a refuted window is retired by adding the
+// activation literal's negation as a unit clause. Learnt clauses survive
+// across all depths, and with the default stride of 1 the reported depth
+// is the provably minimal cover depth — shorter traces mean fewer RISC-V
+// instructions per embedded test. CoverSingleShot retains the
+// from-scratch single-solve path as the differential-testing and
+// benchmarking baseline.
 //
 // Verdicts map to the paper's Table 4 outcomes: Covered (a trace exists —
 // "S" once instruction construction succeeds), Unreachable (the property
@@ -30,9 +41,17 @@ type Config struct {
 	// fully input-controlled within three cycles, so the default bound
 	// exceeds their sequential diameter and an UNSAT verdict is a proof.
 	MaxDepth int
-	// MaxConflicts bounds solver effort per depth (default 2,000,000);
-	// exceeding it yields Timeout — the paper's "FF" outcome.
+	// MaxConflicts is a shared solver-effort budget spread across the
+	// whole deepening schedule (default 2,000,000 conflicts in total);
+	// exhausting it yields Timeout — the paper's "FF" outcome.
 	MaxConflicts int64
+	// Stride is the iterative-deepening step (default 1): each query
+	// extends the unroll by Stride cycles and asks about divergence in
+	// the newly added window only. With Stride 1, Result.Depth is the
+	// provably minimal cover depth; larger strides trade that resolution
+	// for fewer solver calls (minimality then holds only up to the
+	// stride, via the witness cycle of the model found).
+	Stride int
 	// Assume restricts input-port values per cycle (the paper's
 	// assume-property input restrictions).
 	Assume []PortConstraint
@@ -51,6 +70,18 @@ type Config struct {
 	// microarchitecture-aware restriction of §3.3.3 that keeps traces
 	// convertible to instructions.
 	ValidPort string
+}
+
+func (cfg *Config) fill() {
+	if cfg.MaxDepth == 0 {
+		cfg.MaxDepth = 8
+	}
+	if cfg.MaxConflicts == 0 {
+		cfg.MaxConflicts = 2000000
+	}
+	if cfg.Stride <= 0 {
+		cfg.Stride = 1
+	}
 }
 
 // PortConstraint requires an input port to take one of the allowed
@@ -88,7 +119,8 @@ func (v Verdict) String() string {
 }
 
 // Trace is a cycle-accurate module-level input sequence (the paper's
-// Table 2 artifact), plus which cover point fired and when.
+// Table 2 artifact), plus which cover point fired and when. Traces are
+// truncated to the cover cycle: Cycles == CoverCycle+1.
 type Trace struct {
 	Cycles     int
 	Inputs     map[string][]uint64 // port -> per-cycle value
@@ -96,49 +128,96 @@ type Trace struct {
 	CoverPoint fault.CoverPoint
 }
 
-// Result bundles the verdict with the trace (when covered).
+// Stats summarizes the formal effort behind one cover query: the CNF
+// size, how many incremental Solve calls the deepening schedule issued,
+// and the CDCL counters accumulated across all of them (learnt clauses
+// are shared between the calls — that sharing is the point).
+type Stats struct {
+	Solves  int // incremental Solve calls issued
+	Vars    int // CNF variables allocated
+	Clauses int // problem clauses held (excl. learnt)
+	Solver  sat.Stats
+}
+
+// Add returns the field-wise sum of two snapshots, for aggregation
+// across queries.
+func (a Stats) Add(b Stats) Stats {
+	return Stats{
+		Solves:  a.Solves + b.Solves,
+		Vars:    a.Vars + b.Vars,
+		Clauses: a.Clauses + b.Clauses,
+		Solver:  a.Solver.Add(b.Solver),
+	}
+}
+
+// Result bundles the verdict with the trace (when covered) and the
+// solver effort behind the query.
 type Result struct {
 	Verdict Verdict
 	Trace   *Trace
-	Depth   int // unroll depth at which the verdict was reached
+	// Depth is the unroll depth at which the verdict was reached. For
+	// Covered with the default Stride of 1 it is the provably minimal
+	// cover depth (== Trace.CoverCycle+1): every shallower depth was
+	// refuted on the way up.
+	Depth int
+	Stats Stats
 }
 
 // Cover searches for an input sequence that makes any of the cover
-// points differ from its shadow, using iterative deepening up to
-// MaxDepth.
+// points differ from its shadow, by true iterative deepening on a single
+// incremental solver: depth d's transition frames extend the running
+// CNF, depth d's cover window is asserted under an activation-literal
+// assumption, and a refuted window is retired with a unit clause so
+// everything learnt keeps pruning all later depths.
 func Cover(nl *netlist.Netlist, covers []fault.CoverPoint, cfg Config) *Result {
-	if cfg.MaxDepth == 0 {
-		cfg.MaxDepth = 8
-	}
-	if cfg.MaxConflicts == 0 {
-		cfg.MaxConflicts = 2000000
-	}
+	cfg.fill()
 	if len(covers) == 0 {
 		return &Result{Verdict: Unreachable, Depth: 0}
 	}
-	// Compile (or fetch) the program once: both deepening passes walk
-	// the same flattened instruction stream and precomputed DFF list
-	// instead of re-deriving cell order from the netlist per depth.
-	prog := engine.Cached(nl)
-	// Two-step deepening: a shallow unroll catches the common case
-	// cheaply; the full-bound unroll both finds deep traces and, when
-	// UNSAT, constitutes the unreachability proof (the bound exceeds the
-	// modules' sequential diameter).
-	depths := []int{4, cfg.MaxDepth}
-	if cfg.MaxDepth <= 4 {
-		depths = []int{cfg.MaxDepth}
-	}
-	for _, depth := range depths {
-		u := newUnroller(prog, depth, cfg)
-		st := u.solveCover(covers)
-		switch st {
-		case sat.Sat:
-			return &Result{Verdict: Covered, Trace: u.extract(covers), Depth: depth}
-		case sat.Unknown:
-			return &Result{Verdict: Timeout, Depth: depth}
+	u := newUnroller(engine.Cached(nl), cfg)
+	for prev := 0; prev < cfg.MaxDepth; {
+		depth := prev + cfg.Stride
+		if depth > cfg.MaxDepth {
+			depth = cfg.MaxDepth
 		}
+		u.extendTo(depth)
+		switch u.solveWindow(covers, prev, depth) {
+		case sat.Sat:
+			tr := u.extract(covers)
+			return &Result{Verdict: Covered, Trace: tr, Depth: tr.Cycles, Stats: u.stats()}
+		case sat.Unknown:
+			return &Result{Verdict: Timeout, Depth: depth, Stats: u.stats()}
+		}
+		prev = depth
 	}
-	return &Result{Verdict: Unreachable, Depth: cfg.MaxDepth}
+	return &Result{Verdict: Unreachable, Depth: cfg.MaxDepth, Stats: u.stats()}
+}
+
+// CoverSingleShot is the retained from-scratch baseline: a fresh solver,
+// the full MaxDepth-cycle CNF encoded in one pass, the cover disjunction
+// over every cycle added as a plain clause, and a single Solve call. It
+// exists for differential testing and benchmarking against the
+// incremental path; Depth is always MaxDepth (the single-shot bound
+// proves nothing about shallower depths).
+func CoverSingleShot(nl *netlist.Netlist, covers []fault.CoverPoint, cfg Config) *Result {
+	cfg.fill()
+	if len(covers) == 0 {
+		return &Result{Verdict: Unreachable, Depth: 0}
+	}
+	u := newUnroller(engine.Cached(nl), cfg)
+	u.extendTo(cfg.MaxDepth)
+	st := u.solveFinal(covers)
+	res := &Result{Depth: cfg.MaxDepth, Stats: u.stats()}
+	switch st {
+	case sat.Sat:
+		res.Verdict = Covered
+		res.Trace = u.extract(covers)
+	case sat.Unsat:
+		res.Verdict = Unreachable
+	default:
+		res.Verdict = Timeout
+	}
+	return res
 }
 
 // Replay simulates the instrumented netlist under the trace's inputs and
@@ -159,37 +238,31 @@ func Replay(nl *netlist.Netlist, tr *Trace) bool {
 	return false
 }
 
+// unroller owns the incremental CNF: one solver whose formula grows one
+// transition frame at a time. vars[t][net] is the solver variable of a
+// net at cycle t (-1 if not yet allocated); frames once encoded are
+// never re-encoded.
 type unroller struct {
-	nl    *netlist.Netlist
-	prog  *engine.Program
-	depth int
-	cfg   Config
-	s     *sat.Solver
+	nl   *netlist.Netlist
+	prog *engine.Program
+	cfg  Config
+	s    *sat.Solver
 
-	// vars[t][net] is the solver variable of a net at cycle t; -1 if not
-	// yet allocated.
 	vars [][]int
 
 	constTrue  int
 	constFalse int
+
+	budget int64 // remaining shared conflict budget
+	solves int
 }
 
-func newUnroller(prog *engine.Program, depth int, cfg Config) *unroller {
-	nl := prog.Netlist
-	u := &unroller{nl: nl, prog: prog, depth: depth, cfg: cfg, s: sat.New()}
-	u.s.MaxConflicts = cfg.MaxConflicts
-	u.vars = make([][]int, depth)
-	for t := range u.vars {
-		u.vars[t] = make([]int, nl.NumNets)
-		for i := range u.vars[t] {
-			u.vars[t][i] = -1
-		}
-	}
+func newUnroller(prog *engine.Program, cfg Config) *unroller {
+	u := &unroller{nl: prog.Netlist, prog: prog, cfg: cfg, s: sat.New(), budget: cfg.MaxConflicts}
 	u.constTrue = u.s.NewVar()
 	u.constFalse = u.s.NewVar()
 	u.s.AddClause(sat.MkLit(u.constTrue, false))
 	u.s.AddClause(sat.MkLit(u.constFalse, true))
-	u.encode()
 	return u
 }
 
@@ -197,59 +270,68 @@ func (u *unroller) lit(t int, n netlist.NetID, neg bool) sat.Lit {
 	return sat.MkLit(u.vars[t][n], neg)
 }
 
-// encode builds the full k-cycle CNF by walking the compiled program:
-// the flattened instruction stream supplies the combinational cells in
-// dependency order (the same order the evaluators use), and the
-// precomputed DFF list replaces the per-depth scans over all cells.
-func (u *unroller) encode() {
+// extendTo appends transition frames until the unroll spans depth
+// cycles. Everything already encoded — frames, retired cover windows,
+// learnt clauses — is untouched.
+func (u *unroller) extendTo(depth int) {
+	for t := len(u.vars); t < depth; t++ {
+		u.pushFrame(t)
+	}
+}
+
+// pushFrame encodes cycle t: fresh input and state variables, the
+// transition from frame t-1 (or the reset state for frame 0), the
+// combinational logic by walking the compiled program — the flattened
+// instruction stream supplies the cells in dependency order, the same
+// order the evaluators use — and the per-cycle input restrictions.
+func (u *unroller) pushFrame(t int) {
 	nl, prog := u.nl, u.prog
 
-	// Allocate input and state variables for every cycle.
-	for t := 0; t < u.depth; t++ {
-		if nl.ClockRoot != netlist.NoNet {
-			u.vars[t][nl.ClockRoot] = u.constTrue // root clock always enabled
-		}
-		for _, p := range nl.Inputs {
-			for _, n := range p.Bits {
-				u.vars[t][n] = u.s.NewVar()
-			}
-		}
-		for i := range prog.DFFs {
-			u.vars[t][prog.DFFs[i].Out] = u.s.NewVar()
+	frame := make([]int, nl.NumNets)
+	for i := range frame {
+		frame[i] = -1
+	}
+	u.vars = append(u.vars, frame)
+
+	if nl.ClockRoot != netlist.NoNet {
+		frame[nl.ClockRoot] = u.constTrue // root clock always enabled
+	}
+	for _, p := range nl.Inputs {
+		for _, n := range p.Bits {
+			frame[n] = u.s.NewVar()
 		}
 	}
-
-	// Initial state: reset values.
 	for i := range prog.DFFs {
-		f := &prog.DFFs[i]
-		u.s.AddClause(sat.MkLit(u.vars[0][f.Out], !f.Init))
+		frame[prog.DFFs[i].Out] = u.s.NewVar()
 	}
 
-	// Combinational logic per cycle, then transitions.
-	for t := 0; t < u.depth; t++ {
-		for i := range prog.Ops {
-			u.encodeOp(t, &prog.Ops[i])
+	if t == 0 {
+		// Initial state: reset values.
+		for i := range prog.DFFs {
+			f := &prog.DFFs[i]
+			u.s.AddClause(sat.MkLit(frame[f.Out], !f.Init))
 		}
-		if t+1 < u.depth {
-			for i := range prog.DFFs {
-				f := &prog.DFFs[i]
-				// next = clk ? D : cur  (clock nets carry the enable).
-				next := u.vars[t+1][f.Out]
-				u.encodeMux(next, u.vars[t][f.Out], u.vars[t][f.D], u.vars[t][f.Clk])
-			}
+	} else {
+		// next = clk ? D : cur (clock nets carry the enable); frame t-1
+		// is fully encoded, so its D nets already have variables.
+		for i := range prog.DFFs {
+			f := &prog.DFFs[i]
+			u.encodeMux(frame[f.Out], u.vars[t-1][f.Out], u.vars[t-1][f.D], u.vars[t-1][f.Clk])
 		}
-		u.encodeAssumes(t)
 	}
+
+	for i := range prog.Ops {
+		u.encodeOp(t, &prog.Ops[i])
+	}
+	u.encodeAssumes(t)
 
 	if fp := u.cfg.FixedPulse; fp != nil {
 		p, ok := nl.FindInput(fp.Port)
 		if !ok || len(p.Bits) != 1 {
 			panic(fmt.Sprintf("bmc: FixedPulse port %q is not a 1-bit input", fp.Port))
 		}
-		for t := 0; t < u.depth; t++ {
-			high := t%fp.Period == 0
-			u.s.AddClause(sat.MkLit(u.vars[t][p.Bits[0]], !high))
-		}
+		high := t%fp.Period == 0
+		u.s.AddClause(sat.MkLit(frame[p.Bits[0]], !high))
 	}
 }
 
@@ -383,46 +465,86 @@ func (u *unroller) validNets(covers []fault.CoverPoint) (validOrig, validShadow 
 	return
 }
 
-// solveCover adds the cover disjunction and solves.
-func (u *unroller) solveCover(covers []fault.CoverPoint) sat.Status {
+// coverTargets builds the observable-divergence literals of one cycle:
+// for each cover point an XOR of original and shadow bit, gated by the
+// shadow machine's handshake when one is configured.
+func (u *unroller) coverTargets(covers []fault.CoverPoint, t int) []sat.Lit {
 	validOrig, validShadow := u.validNets(covers)
 	var targets []sat.Lit
-	for t := 0; t < u.depth; t++ {
-		for _, cp := range covers {
-			d := u.s.NewVar()
-			u.encodeXor(d, u.vars[t][cp.Orig], u.vars[t][cp.Shadow], false)
-			if validOrig == netlist.NoNet || cp.Orig == validOrig {
-				targets = append(targets, sat.MkLit(d, false))
-				continue
-			}
-			// obs = d & valid_s
-			obs := u.s.NewVar()
-			u.encodeAnd(obs, d, u.vars[t][validShadow], false)
-			targets = append(targets, sat.MkLit(obs, false))
+	for _, cp := range covers {
+		d := u.s.NewVar()
+		u.encodeXor(d, u.vars[t][cp.Orig], u.vars[t][cp.Shadow], false)
+		if validOrig == netlist.NoNet || cp.Orig == validOrig {
+			targets = append(targets, sat.MkLit(d, false))
+			continue
 		}
+		// obs = d & valid_s
+		obs := u.s.NewVar()
+		u.encodeAnd(obs, d, u.vars[t][validShadow], false)
+		targets = append(targets, sat.MkLit(obs, false))
 	}
-	u.s.AddClause(targets...)
-	return u.s.Solve()
+	return targets
 }
 
-// extract reads the model back into a Trace.
-func (u *unroller) extract(covers []fault.CoverPoint) *Trace {
-	tr := &Trace{Cycles: u.depth, Inputs: make(map[string][]uint64), CoverCycle: -1}
-	for _, p := range u.nl.Inputs {
-		vals := make([]uint64, u.depth)
-		for t := 0; t < u.depth; t++ {
-			var v uint64
-			for i, n := range p.Bits {
-				if u.s.Value(u.vars[t][n]) {
-					v |= 1 << uint(i)
-				}
-			}
-			vals[t] = v
-		}
-		tr.Inputs[p.Name] = vals
+// solveWindow asks whether any cover point diverges in cycles [lo, hi).
+// The window's disjunction is guarded by a fresh activation literal and
+// asserted as an assumption, so an UNSAT answer refutes only the window:
+// the guard is then retired by adding its negation as a unit clause
+// (permanently satisfying the guarded clause, and root-simplifying any
+// learnt clause that mentions it), while every learnt clause — which the
+// solver derives from the formula alone, never from assumptions — keeps
+// pruning all deeper windows.
+func (u *unroller) solveWindow(covers []fault.CoverPoint, lo, hi int) sat.Status {
+	act := u.s.NewVar()
+	lits := []sat.Lit{sat.MkLit(act, true)}
+	for t := lo; t < hi; t++ {
+		lits = append(lits, u.coverTargets(covers, t)...)
 	}
+	u.s.AddClause(lits...)
+	st := u.solveBudgeted(sat.MkLit(act, false))
+	if st == sat.Unsat {
+		u.s.AddClause(sat.MkLit(act, true))
+	}
+	return st
+}
+
+// solveFinal is the single-shot variant: the cover disjunction over
+// every encoded cycle as a plain (unguarded) clause, one Solve call.
+func (u *unroller) solveFinal(covers []fault.CoverPoint) sat.Status {
+	var lits []sat.Lit
+	for t := 0; t < len(u.vars); t++ {
+		lits = append(lits, u.coverTargets(covers, t)...)
+	}
+	u.s.AddClause(lits...)
+	return u.solveBudgeted()
+}
+
+// solveBudgeted issues one Solve call against the remaining shared
+// conflict budget and charges what the call consumed.
+func (u *unroller) solveBudgeted(assumptions ...sat.Lit) sat.Status {
+	if u.budget <= 0 {
+		return sat.Unknown
+	}
+	u.s.MaxConflicts = u.budget
+	before := u.s.Conflicts
+	st := u.s.Solve(assumptions...)
+	u.budget -= u.s.Conflicts - before
+	u.solves++
+	return st
+}
+
+func (u *unroller) stats() Stats {
+	return Stats{Solves: u.solves, Vars: u.s.NumVars(), Clauses: u.s.NumClauses(), Solver: u.s.Stats()}
+}
+
+// extract reads the model back into a Trace, truncated to the earliest
+// diverging cycle: cycles past the cover add nothing to the replay and
+// would only lengthen the lifted instruction sequence.
+func (u *unroller) extract(covers []fault.CoverPoint) *Trace {
+	depth := len(u.vars)
+	tr := &Trace{Inputs: make(map[string][]uint64), CoverCycle: -1}
 	validOrig, validShadow := u.validNets(covers)
-	for t := 0; t < u.depth && tr.CoverCycle == -1; t++ {
+	for t := 0; t < depth && tr.CoverCycle == -1; t++ {
 		for _, cp := range covers {
 			if u.s.Value(u.vars[t][cp.Orig]) == u.s.Value(u.vars[t][cp.Shadow]) {
 				continue
@@ -434,6 +556,23 @@ func (u *unroller) extract(covers []fault.CoverPoint) *Trace {
 			tr.CoverPoint = cp
 			break
 		}
+	}
+	tr.Cycles = tr.CoverCycle + 1
+	if tr.CoverCycle == -1 {
+		tr.Cycles = depth // defensive: a Sat model must diverge somewhere
+	}
+	for _, p := range u.nl.Inputs {
+		vals := make([]uint64, tr.Cycles)
+		for t := 0; t < tr.Cycles; t++ {
+			var v uint64
+			for i, n := range p.Bits {
+				if u.s.Value(u.vars[t][n]) {
+					v |= 1 << uint(i)
+				}
+			}
+			vals[t] = v
+		}
+		tr.Inputs[p.Name] = vals
 	}
 	return tr
 }

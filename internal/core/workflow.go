@@ -283,6 +283,13 @@ func (w *Workflow) ErrorLifting() ([]lift.Result, error) {
 	return all, nil
 }
 
+// LiftStats aggregates the BMC solver effort of the completed error
+// lifting per outcome (minimal depths, conflicts, propagations,
+// restarts, learnt clauses).
+func (w *Workflow) LiftStats() []lift.OutcomeStats {
+	return lift.StatsByOutcome(w.Results)
+}
+
 // Suite assembles every successfully constructed test case, in pair
 // order.
 func (w *Workflow) Suite() *lift.Suite {

@@ -90,8 +90,54 @@ type Result struct {
 	Spec    fault.Spec
 	Outcome Outcome
 	Case    *TestCase
-	Depth   int // BMC unroll depth of the verdict
-	Reason  string
+	// Depth is the BMC unroll depth of the verdict; for Success it is
+	// the provably minimal cover depth (bmc.Result.Depth).
+	Depth  int
+	Reason string
+	// Stats is the solver effort behind the attempt's cover query.
+	Stats bmc.Stats
+}
+
+// OutcomeStats aggregates the solver effort of every attempt that ended
+// in one outcome — the per-outcome cost profile of the Error Lifting
+// phase (Timeouts are where the conflict budget went; Unreachables are
+// where the UNSAT proofs got cheaper with incremental solving).
+type OutcomeStats struct {
+	Outcome  Outcome
+	Attempts int
+	// MinDepth/MaxDepth span the verdict depths seen (minimal cover
+	// depths for Success/ConvFail, proof bounds for Unreachable).
+	MinDepth, MaxDepth int
+	Stats              bmc.Stats
+}
+
+// StatsByOutcome aggregates construction results per outcome, in the
+// fixed order Success, Unreachable, FormalTimeout, ConvFail. Outcomes
+// with no attempts are omitted.
+func StatsByOutcome(results []Result) []OutcomeStats {
+	byOutcome := map[Outcome]*OutcomeStats{}
+	for _, r := range results {
+		os, ok := byOutcome[r.Outcome]
+		if !ok {
+			os = &OutcomeStats{Outcome: r.Outcome, MinDepth: r.Depth, MaxDepth: r.Depth}
+			byOutcome[r.Outcome] = os
+		}
+		os.Attempts++
+		if r.Depth < os.MinDepth {
+			os.MinDepth = r.Depth
+		}
+		if r.Depth > os.MaxDepth {
+			os.MaxDepth = r.Depth
+		}
+		os.Stats = os.Stats.Add(r.Stats)
+	}
+	var out []OutcomeStats
+	for _, o := range []Outcome{Success, Unreachable, FormalTimeout, ConvFail} {
+		if os, ok := byOutcome[o]; ok {
+			out = append(out, *os)
+		}
+	}
+	return out
 }
 
 // Config tunes construction.
@@ -102,6 +148,9 @@ type Config struct {
 	Mitigation   bool
 	MaxDepth     int
 	MaxConflicts int64
+	// Stride is the BMC iterative-deepening step (default 1, which
+	// makes every reported depth provably minimal).
+	Stride int
 	// DisableConditioning skips the reset-state-conditioning operation
 	// normally prepended to every test case (§3.3.5). Ablation only: it
 	// re-exposes the raw initial-value dependency of the formal traces.
@@ -112,6 +161,12 @@ type Config struct {
 // on the surrounding in-order CPU: one valid cycle plus the pipeline
 // drain (module latency).
 func issuePeriod(m *module.Module) int { return m.Latency + 1 }
+
+// BMCConfig builds the module's assume-environment for a cover query —
+// the same microarchitectural restrictions Construct applies — so other
+// callers (cmd/vega-failnets' -cover pass, benchmarks) issue exactly the
+// queries the lifting phase would.
+func BMCConfig(m *module.Module, cfg Config) bmc.Config { return bmcConfig(m, cfg) }
 
 // bmcConfig builds the module's assume-environment.
 func bmcConfig(m *module.Module, cfg Config) bmc.Config {
@@ -125,6 +180,7 @@ func bmcConfig(m *module.Module, cfg Config) bmc.Config {
 	return bmc.Config{
 		MaxDepth:     cfg.MaxDepth,
 		MaxConflicts: cfg.MaxConflicts,
+		Stride:       cfg.Stride,
 		Assume:       []bmc.PortConstraint{{Port: module.PortOp, Allowed: ops}},
 		FixedPulse:   &bmc.Pulse{Port: module.PortInValid, Period: issuePeriod(m)},
 		ValidPort:    module.PortOutValid,
@@ -151,7 +207,7 @@ func Construct(m *module.Module, pair sta.Pair, pathType sta.PathType, cfg Confi
 func constructOne(m *module.Module, spec fault.Spec, cfg Config) Result {
 	inst := fault.ShadowReplica(m.Netlist, spec)
 	res := bmc.Cover(inst.Netlist, inst.Covers, bmcConfig(m, cfg))
-	r := Result{Spec: spec, Depth: res.Depth}
+	r := Result{Spec: spec, Depth: res.Depth, Stats: res.Stats}
 	switch res.Verdict {
 	case bmc.Unreachable:
 		r.Outcome = Unreachable

@@ -46,6 +46,30 @@ func (b lbool) not() lbool {
 	return lUndef
 }
 
+// Stats is a snapshot of the solver's cumulative search counters. All
+// fields are monotonic across Solve calls on one solver, so incremental
+// callers can report the total effort behind a sequence of queries (and
+// difference two snapshots for per-query effort).
+type Stats struct {
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Restarts     int64
+	Learnts      int64 // learnt clauses recorded (cumulative, incl. later-reduced ones)
+}
+
+// Add returns the field-wise sum of two snapshots, for aggregation
+// across solvers.
+func (a Stats) Add(b Stats) Stats {
+	return Stats{
+		Conflicts:    a.Conflicts + b.Conflicts,
+		Decisions:    a.Decisions + b.Decisions,
+		Propagations: a.Propagations + b.Propagations,
+		Restarts:     a.Restarts + b.Restarts,
+		Learnts:      a.Learnts + b.Learnts,
+	}
+}
+
 // Status is a solver verdict.
 type Status int
 
@@ -101,6 +125,8 @@ type Solver struct {
 	Conflicts    int64
 	Decisions    int64
 	Propagations int64
+	Restarts     int64
+	learntTotal  int64 // learnt clauses ever recorded (monotonic)
 
 	// MaxConflicts bounds the search; exceeded -> Unknown (the paper's
 	// "FF" formal-tool-timeout outcome). 0 means unbounded.
@@ -142,11 +168,15 @@ func (s *Solver) value(l Lit) lbool {
 }
 
 // AddClause adds a clause (a disjunction of literals). It returns false
-// if the formula is already trivially unsatisfiable.
+// if the formula is already trivially unsatisfiable. Clauses may be
+// added between Solve calls: the solver first rewinds to decision level
+// 0, so the clause is judged against root-level facts only — never
+// against leftover decisions of a previous model.
 func (s *Solver) AddClause(lits ...Lit) bool {
 	if s.unsatisfiable {
 		return false
 	}
+	s.cancelUntil(0)
 	// Simplify: drop duplicate/false literals, detect tautologies.
 	out := lits[:0:0]
 	for _, l := range lits {
@@ -350,6 +380,7 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 }
 
 func (s *Solver) record(learnt []Lit) {
+	s.learntTotal++
 	if len(learnt) == 1 {
 		s.enqueue(learnt[0], nil)
 		return
@@ -381,12 +412,24 @@ func luby(i int64) int64 {
 }
 
 // Solve searches for a model under the given assumptions. It returns Sat
-// with the model available via Value, Unsat if no model exists, or
-// Unknown if MaxConflicts was exceeded.
+// with the model available via Value, Unsat if no model exists under the
+// assumptions (the formula itself may still be satisfiable), or Unknown
+// if MaxConflicts was exceeded.
+//
+// Solve may be called repeatedly on one solver, with clauses and
+// variables added and assumptions changed between calls; every call
+// first rewinds to decision level 0, so no decision or pseudo-decision
+// from an earlier call leaks into the new query. Learnt clauses are
+// always implied by the clause database alone — never by assumptions —
+// so everything learnt in one call remains sound for all later calls.
 func (s *Solver) Solve(assumptions ...Lit) Status {
 	if s.unsatisfiable {
 		return Unsat
 	}
+	// Rewind any trail left by a previous Solve call: its decisions (and
+	// its assumptions' pseudo-decisions) are not facts, and the new
+	// assumption levels must start at the root.
+	s.cancelUntil(0)
 	if confl := s.propagate(); confl != nil {
 		s.unsatisfiable = true
 		return Unsat
@@ -406,9 +449,28 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			s.cancelUntil(0)
 			return Unknown
 		}
+		s.Restarts++
 		restart++
 	}
 }
+
+// Stats snapshots the cumulative search counters.
+func (s *Solver) Stats() Stats {
+	return Stats{
+		Conflicts:    s.Conflicts,
+		Decisions:    s.Decisions,
+		Propagations: s.Propagations,
+		Restarts:     s.Restarts,
+		Learnts:      s.learntTotal,
+	}
+}
+
+// NumClauses reports the number of problem (non-learnt) clauses held.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// NumLearnts reports the number of learnt clauses currently held (after
+// any database reductions).
+func (s *Solver) NumLearnts() int { return len(s.learnts) }
 
 // search runs CDCL until a verdict, a restart (conflict budget reached),
 // or the global conflict cap. Unknown means "restart or cap".
@@ -430,10 +492,20 @@ func (s *Solver) search(assumptions []Lit, conflictBudget int64) Status {
 				s.cancelUntil(0)
 				return Unsat
 			}
-			if btLevel < len(assumptions) {
-				btLevel = len(assumptions)
+			if len(learnt) == 1 {
+				// A unit learnt is a root-level fact: backtrack below the
+				// assumption pseudo-decisions so it is enqueued at level 0
+				// and survives restarts and later Solve calls (the search
+				// loop re-applies the assumptions afterwards).
+				s.cancelUntil(0)
+			} else {
+				// Never undo assumption pseudo-decisions for an ordinary
+				// learnt: backtrack at most to the last assumption level.
+				if btLevel < len(assumptions) {
+					btLevel = len(assumptions)
+				}
+				s.cancelUntil(btLevel)
 			}
-			s.cancelUntil(btLevel)
 			s.record(learnt)
 			s.varInc /= 0.95
 			s.claInc /= 0.999
