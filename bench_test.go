@@ -344,6 +344,31 @@ func BenchmarkAblation_PerEndpointCap(b *testing.B) {
 	}
 }
 
+// BenchmarkOnset_FineLifetimeSweep times the workflow-level fine-grained
+// onset sweep the batched multi-corner STA engine exists for: the
+// `vega-sta -sweep -sweep-step 0.25` grid — 41 lifetime corners from 0
+// to 10 years — resolved in one AnalyzeCorners pass over the ALU. The
+// SP profile is collected once outside the timer, exactly as the
+// workflow caches it across sweeps.
+func BenchmarkOnset_FineLifetimeSweep(b *testing.B) {
+	w := vega.NewALU(fastCfg(false))
+	if err := w.ProfileWorkloads(); err != nil {
+		b.Fatal(err)
+	}
+	grid := make([]float64, 41)
+	for i := range grid {
+		grid[i] = 0.25 * float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := w.LifetimeSweep(grid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(core.FailureOnsetYears(pts), "onset-years")
+	}
+}
+
 // BenchmarkParallelism times the two heaviest fan-out phases at -j 1 and
 // -j 4 (the pair the speedup claim compares). Results are byte-identical
 // at every setting — TestParallelismDeterminism proves it — so the only

@@ -18,6 +18,8 @@ func main() {
 	bins := flag.Int("bins", 12, "histogram bins for Figure 8")
 	paths := flag.Bool("paths", true, "print the worst aged path per unit")
 	sweep := flag.Bool("sweep", false, "sweep lifetimes and report failure onset")
+	sweepStep := flag.Float64("sweep-step", 0,
+		"with -sweep: sample every STEP years from 0 to -years instead of the default coarse grid (fine grids are cheap: all corners run in one batched pass)")
 	jobs := flag.Int("j", 0, "worker parallelism (0 = all CPUs, 1 = sequential)")
 	randomSP := flag.Int("random-sp", 0,
 		"profile-free mode: collect the SP profile from this many 64-lane packed cycles of uniform random stimulus instead of workload replay")
@@ -61,16 +63,23 @@ func main() {
 			}
 		}
 		if *sweep {
-			pts, err := w.LifetimeSweep([]float64{0, 1, 2, 3, 5, 7, 10})
+			grid := []float64{0, 1, 2, 3, 5, 7, 10}
+			if *sweepStep > 0 {
+				grid = grid[:0]
+				for yr := 0.0; yr <= *years; yr += *sweepStep {
+					grid = append(grid, yr)
+				}
+			}
+			pts, err := w.LifetimeSweep(grid)
 			if err != nil {
 				log.Fatal(err)
 			}
 			fmt.Printf("\nlifetime sweep (%s):\n", w.Module.Name)
 			for _, p := range pts {
-				fmt.Printf("  %4.0fy  WNS setup %+8.1fps (%4d paths)  hold %+8.1fps (%d)\n",
+				fmt.Printf("  %6.2fy  WNS setup %+8.1fps (%4d paths)  hold %+8.1fps (%d)\n",
 					p.Years, p.WNSSetup, p.SetupViolations, p.WNSHold, p.HoldViolations)
 			}
-			fmt.Printf("  failure onset: %.0f years\n", core.FailureOnsetYears(pts))
+			fmt.Printf("  failure onset: %g years\n", core.FailureOnsetYears(pts))
 		}
 		fmt.Println()
 	}

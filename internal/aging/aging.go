@@ -121,7 +121,19 @@ func (m *Model) DelayFactor(k cell.Kind, sp, years float64) float64 {
 	if years <= 0 {
 		return 1
 	}
-	timeTemp := math.Pow(years/m.Lifetime, m.TimeExp) * m.arrhenius()
+	return m.delayFactorArr(k, sp, years, m.arrhenius())
+}
+
+// delayFactorArr is DelayFactor with the Arrhenius factor supplied by the
+// caller, so bulk characterization (NewLibrary, NewCornerGrid, curve
+// sampling) computes the math.Exp once per corner instead of once per
+// grid point. The expression is kept term-for-term identical to the
+// inline form so hoisting never changes a single bit of the result.
+func (m *Model) delayFactorArr(k cell.Kind, sp, years, arr float64) float64 {
+	if years <= 0 {
+		return 1
+	}
+	timeTemp := math.Pow(years/m.Lifetime, m.TimeExp) * arr
 	frac := m.DegMin + (m.DegMax-m.DegMin)*math.Pow(m.Stress(sp), m.Beta)
 	return 1 + frac*timeTemp*Sensitivity(k)
 }

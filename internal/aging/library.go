@@ -1,6 +1,10 @@
 package aging
 
-import "repro/internal/cell"
+import (
+	"math"
+
+	"repro/internal/cell"
+)
 
 // Library is the pre-computed aging-aware timing library: for every cell
 // kind it tabulates the delay-degradation factor over a grid of signal
@@ -19,22 +23,107 @@ type Library struct {
 // gridPoints is the SP characterization resolution.
 const gridPoints = 41
 
-// NewLibrary characterizes the base timing library against the aging
-// model at the given lifetime.
-func NewLibrary(base *cell.Library, m *Model, years float64) *Library {
-	l := &Library{Base: base, Model: m, Years: years}
-	l.spGrid = make([]float64, gridPoints)
-	for i := range l.spGrid {
-		l.spGrid[i] = float64(i) / float64(gridPoints-1)
+// spFracGrid tabulates the SP grid and the corner-independent stress
+// fraction DegMin + (DegMax-DegMin)·stress^Beta at each grid point. The
+// fraction depends only on the model's degradation anchors, never on the
+// lifetime or temperature, so one tabulation serves every corner of a
+// CornerGrid.
+func spFracGrid(m *Model) (spGrid, frac []float64) {
+	spGrid = make([]float64, gridPoints)
+	frac = make([]float64, gridPoints)
+	for i := range spGrid {
+		sp := float64(i) / float64(gridPoints-1)
+		spGrid[i] = sp
+		frac[i] = m.DegMin + (m.DegMax-m.DegMin)*math.Pow(m.Stress(sp), m.Beta)
 	}
+	return spGrid, frac
+}
+
+// characterize fills one library from pre-tabulated stress fractions.
+// The per-point expression mirrors Model.delayFactorArr term for term
+// (1 + frac·timeTemp·sensitivity), so the result is bit-identical to
+// calling DelayFactor at every grid point.
+func characterize(base *cell.Library, m *Model, years float64, spGrid, frac []float64) *Library {
+	l := &Library{Base: base, Model: m, Years: years, spGrid: spGrid}
+	var timeTemp float64
+	if years > 0 {
+		timeTemp = math.Pow(years/m.Lifetime, m.TimeExp) * m.arrhenius()
+	}
+	slab := make([]float64, cell.NumKinds*gridPoints)
 	for k := 0; k < cell.NumKinds; k++ {
-		l.factors[k] = make([]float64, gridPoints)
-		for i, sp := range l.spGrid {
-			l.factors[k][i] = m.DelayFactor(cell.Kind(k), sp, years)
+		row := slab[k*gridPoints : (k+1)*gridPoints : (k+1)*gridPoints]
+		if years > 0 {
+			s := Sensitivity(cell.Kind(k))
+			for i := range row {
+				row[i] = 1 + frac[i]*timeTemp*s
+			}
+		} else {
+			for i := range row {
+				row[i] = 1
+			}
 		}
+		l.factors[k] = row
 	}
 	return l
 }
+
+// NewLibrary characterizes the base timing library against the aging
+// model at the given lifetime.
+func NewLibrary(base *cell.Library, m *Model, years float64) *Library {
+	spGrid, frac := spFracGrid(m)
+	return characterize(base, m, years, spGrid, frac)
+}
+
+// CornerSpec names one corner of a multi-corner characterization: an
+// assumed lifetime and an optional operating-temperature override in
+// Kelvin (zero keeps the model's TempK).
+type CornerSpec struct {
+	Years float64
+	TempK float64
+}
+
+// CornerGrid is a batch of aging libraries characterized in a single
+// pass, the library-side half of the batched multi-corner STA: the
+// model's degradation factor is separable into an SP-dependent stress
+// fraction (shared by every corner) and a per-corner time-temperature
+// scalar, so K corners cost one stress tabulation plus one Pow/Exp pair
+// per corner instead of K independent NewLibrary characterizations.
+type CornerGrid struct {
+	Base    *cell.Library
+	Corners []CornerSpec
+
+	libs []*Library
+}
+
+// NewCornerGrid characterizes the base library at every corner at once.
+// Each produced library is bit-identical to NewLibrary run at the same
+// corner (asserted by TestCornerGridMatchesNewLibrary); corners with
+// Years <= 0 are fresh and get no aged library.
+func NewCornerGrid(base *cell.Library, m *Model, corners []CornerSpec) *CornerGrid {
+	g := &CornerGrid{
+		Base:    base,
+		Corners: append([]CornerSpec(nil), corners...),
+		libs:    make([]*Library, len(corners)),
+	}
+	spGrid, frac := spFracGrid(m)
+	for ci, c := range corners {
+		if c.Years <= 0 {
+			continue
+		}
+		model := m
+		if c.TempK != 0 && c.TempK != m.TempK {
+			clone := *m
+			clone.TempK = c.TempK
+			model = &clone
+		}
+		g.libs[ci] = characterize(base, model, c.Years, spGrid, frac)
+	}
+	return g
+}
+
+// Library returns the aged library for corner i, or nil for a fresh
+// (Years <= 0) corner.
+func (g *CornerGrid) Library(i int) *Library { return g.libs[i] }
 
 // Factor returns the tabulated delay-degradation factor for kind k at
 // signal probability sp, with linear interpolation between grid points.
@@ -50,6 +139,13 @@ func (l *Library) Factor(k cell.Kind, sp float64) float64 {
 	frac := pos - float64(i)
 	return l.factors[k][i]*(1-frac) + l.factors[k][i+1]*frac
 }
+
+// FactorRow exposes the tabulated factor row for kind k (one value per
+// SP grid point). The batched STA hoists the grid position and
+// interpolation weights out of its per-corner loop and indexes rows
+// directly; the interpolation expression must mirror Factor term for
+// term. Callers must not mutate the row.
+func (l *Library) FactorRow(k cell.Kind) []float64 { return l.factors[k] }
 
 // AgedTiming returns the cell timing with aged propagation delays. Both
 // the minimum and maximum delays slow by the same factor (the whole cell
@@ -73,10 +169,11 @@ type CurvePoint struct {
 // DegradationCurve samples the delay degradation of a cell kind at a
 // fixed SP over time — one curve of Figure 4.
 func DegradationCurve(m *Model, k cell.Kind, sp float64, maxYears float64, points int) []CurvePoint {
+	arr := m.arrhenius()
 	out := make([]CurvePoint, points)
 	for i := 0; i < points; i++ {
 		yr := maxYears * float64(i) / float64(points-1)
-		out[i] = CurvePoint{Years: yr, Factor: m.DelayFactor(k, sp, yr)}
+		out[i] = CurvePoint{Years: yr, Factor: m.delayFactorArr(k, sp, yr, arr)}
 	}
 	return out
 }

@@ -227,6 +227,21 @@ func (w *Workflow) ProfileWorkloads() error {
 // must not change with the worker count or the profile would too.
 const profileChunks = 16
 
+// batchConfig assembles the workflow's standing parameters for the
+// batched multi-corner STA engine. The per-endpoint report bound is the
+// signoff-style 40-worst-paths window used by every aged analysis.
+func (w *Workflow) batchConfig() sta.BatchConfig {
+	return sta.BatchConfig{
+		PeriodPs:    w.Module.PeriodPs,
+		Scale:       w.Scale,
+		Base:        w.Lib,
+		Model:       w.Model,
+		Profile:     w.SPProfile,
+		PerEndpoint: 40,
+		Parallelism: w.Config.Parallelism,
+	}
+}
+
 // AgingAnalysis runs the aging-aware STA (§3.2.2) over the SP profile.
 func (w *Workflow) AgingAnalysis() (*sta.Result, error) {
 	if w.SPProfile == nil {
@@ -234,25 +249,19 @@ func (w *Workflow) AgingAnalysis() (*sta.Result, error) {
 			return nil, err
 		}
 	}
-	lib := aging.NewLibrary(w.Lib, w.Model, w.Config.Years)
-	w.STA = sta.Analyze(w.Module.Netlist, sta.Config{
-		PeriodPs: w.Module.PeriodPs,
-		Scale:    w.Scale,
-		Aged:     lib,
-		Profile:  w.SPProfile,
-		// Signoff-style report bound: up to 40 worst paths per endpoint.
-		PerEndpoint: 40,
-	})
+	res := sta.AnalyzeCorners(w.Module.Netlist, w.batchConfig(),
+		[]sta.Corner{{Years: w.Config.Years}})
+	w.STA = res[0]
 	return w.STA, nil
 }
 
 // FreshAnalysis runs the nominal (unaged) STA for signoff comparison.
 func (w *Workflow) FreshAnalysis() *sta.Result {
-	return sta.Analyze(w.Module.Netlist, sta.Config{
-		PeriodPs: w.Module.PeriodPs,
-		Scale:    w.Scale,
-		Base:     w.Lib,
-	})
+	cfg := w.batchConfig()
+	// Fresh signoff keeps the scalar default nworst window (400), like
+	// the standalone fresh Analyze it replaced.
+	cfg.PerEndpoint = 0
+	return sta.AnalyzeCorners(w.Module.Netlist, cfg, []sta.Corner{{}})[0]
 }
 
 // ErrorLifting runs failure-model instrumentation, trace generation and
@@ -338,39 +347,34 @@ type OnsetPoint struct {
 // LifetimeSweep re-runs the aging-aware STA across a range of assumed
 // lifetimes, answering the deployment question behind the paper's
 // motivation (§2.1): *when* does this unit start violating timing? The
-// SP profile is collected once and reused.
+// SP profile is collected once and reused, and all sweep points run as
+// one batched multi-corner pass: one timing-graph traversal fills every
+// point's arrivals, so dense sweeps cost little more than one Analyze.
+// (Fresh points now share the aged points' 40-worst-paths report bound;
+// a calibrated fresh design has no violations, so the census is
+// unchanged.)
 func (w *Workflow) LifetimeSweep(years []float64) ([]OnsetPoint, error) {
 	if w.SPProfile == nil {
 		if err := w.ProfileWorkloads(); err != nil {
 			return nil, err
 		}
 	}
-	// One task per sweep point: each builds its own aged library and STA
-	// run over the shared (read-only) netlist and SP profile.
-	return par.Map(context.Background(), len(years), w.Config.Parallelism,
-		func(_ context.Context, i int) (OnsetPoint, error) {
-			yr := years[i]
-			var res *sta.Result
-			if yr <= 0 {
-				res = w.FreshAnalysis()
-			} else {
-				lib := aging.NewLibrary(w.Lib, w.Model, yr)
-				res = sta.Analyze(w.Module.Netlist, sta.Config{
-					PeriodPs:    w.Module.PeriodPs,
-					Scale:       w.Scale,
-					Aged:        lib,
-					Profile:     w.SPProfile,
-					PerEndpoint: 40,
-				})
-			}
-			return OnsetPoint{
-				Years:           yr,
-				WNSSetup:        res.WNSSetup,
-				WNSHold:         res.WNSHold,
-				SetupViolations: res.NumSetupViolations,
-				HoldViolations:  res.NumHoldViolations,
-			}, nil
-		})
+	corners := make([]sta.Corner, len(years))
+	for i, yr := range years {
+		corners[i] = sta.Corner{Years: yr}
+	}
+	results := sta.AnalyzeCorners(w.Module.Netlist, w.batchConfig(), corners)
+	points := make([]OnsetPoint, len(years))
+	for i, res := range results {
+		points[i] = OnsetPoint{
+			Years:           years[i],
+			WNSSetup:        res.WNSSetup,
+			WNSHold:         res.WNSHold,
+			SetupViolations: res.NumSetupViolations,
+			HoldViolations:  res.NumHoldViolations,
+		}
+	}
+	return points, nil
 }
 
 // FailureOnsetYears returns the first swept lifetime with any violation,
@@ -402,21 +406,21 @@ func (w *Workflow) TemperatureSweep(tempsC []float64) ([]TempPoint, error) {
 			return nil, err
 		}
 	}
-	// One task per temperature point; each clones the aging model before
-	// adjusting TempK so the shared model stays read-only.
-	return par.Map(context.Background(), len(tempsC), w.Config.Parallelism,
-		func(_ context.Context, i int) (TempPoint, error) {
-			tc := tempsC[i]
-			model := *w.Model
-			model.TempK = tc + 273.15
-			lib := aging.NewLibrary(w.Lib, &model, w.Config.Years)
-			res := sta.Analyze(w.Module.Netlist, sta.Config{
-				PeriodPs:    w.Module.PeriodPs,
-				Scale:       w.Scale,
-				Aged:        lib,
-				Profile:     w.SPProfile,
-				PerEndpoint: 40,
-			})
-			return TempPoint{TempC: tc, WNSSetup: res.WNSSetup, SetupViolations: res.NumSetupViolations}, nil
-		})
+	// One batched pass over per-temperature corners; the corner grid
+	// clones the aging model per TempK override, so the shared model
+	// stays read-only.
+	corners := make([]sta.Corner, len(tempsC))
+	for i, tc := range tempsC {
+		corners[i] = sta.Corner{Years: w.Config.Years, TempK: tc + 273.15}
+	}
+	results := sta.AnalyzeCorners(w.Module.Netlist, w.batchConfig(), corners)
+	points := make([]TempPoint, len(tempsC))
+	for i, res := range results {
+		points[i] = TempPoint{
+			TempC:           tempsC[i],
+			WNSSetup:        res.WNSSetup,
+			SetupViolations: res.NumSetupViolations,
+		}
+	}
+	return points, nil
 }

@@ -1,0 +1,59 @@
+package sta
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/aging"
+	"repro/internal/cell"
+)
+
+// FuzzBatchedVsScalar lets the fuzzer pick a random timed netlist (via
+// seed) and a corner grid + caps (via raw bytes), then holds the batched
+// engine to bit-identical Results against the scalar differential
+// baseline. Same contract as TestBatchedMatchesScalar, with the fuzzer
+// steering the corpus.
+func FuzzBatchedVsScalar(f *testing.F) {
+	f.Add(int64(1), byte(1), byte(0), byte(0), uint16(300))
+	f.Add(int64(7), byte(4), byte(7), byte(2), uint16(150))
+	f.Add(int64(42), byte(2), byte(255), byte(1), uint16(900))
+	f.Add(int64(99), byte(5), byte(31), byte(40), uint16(60))
+	f.Fuzz(func(t *testing.T, seed int64, nCorners, cornerBits, caps byte, periodRaw uint16) {
+		nl := randomTimedNetlist(seed % 4096)
+		lib := cell.Lib28()
+		rng := rand.New(rand.NewSource(seed ^ int64(cornerBits)))
+		cfg := BatchConfig{
+			PeriodPs: float64(periodRaw%1200) + 40,
+			Base:     lib,
+			Model:    aging.Default(),
+			Profile:  randomNetSP(nl, seed+2),
+		}
+		if caps > 0 {
+			cfg.MaxPaths = int(caps) % 16
+			cfg.PerEndpoint = 1 + int(caps)%8
+		}
+		if cornerBits%2 == 1 {
+			cfg.Parallelism = 8
+		} else {
+			cfg.Parallelism = 1
+		}
+		corners := make([]Corner, 1+int(nCorners)%6)
+		for i := range corners {
+			if cornerBits&(1<<(uint(i)%8)) != 0 {
+				corners[i].Years = rng.Float64() * 15
+			}
+			if rng.Intn(3) == 0 {
+				corners[i].TempK = 290 + rng.Float64()*120
+			}
+		}
+		got := AnalyzeCorners(nl, cfg, corners)
+		want := scalarBaseline(nl, cfg, corners)
+		for k := range corners {
+			if !reflect.DeepEqual(got[k], want[k]) {
+				t.Fatalf("corner %d (%+v) diverges:\n  batched: %+v\n  scalar:  %+v",
+					k, corners[k], got[k], want[k])
+			}
+		}
+	})
+}

@@ -66,12 +66,22 @@ type Pair struct {
 	Start, End netlist.CellID
 }
 
-// PairSummary aggregates all violating paths sharing a start/end pair.
+// PairSummary aggregates all violating paths sharing a start/end pair
+// and check type.
 type PairSummary struct {
 	Pair
 	Type       PathType
 	Paths      int
 	WorstSlack float64
+}
+
+// pairKey keys pair summaries. The type is part of the key: a pair can
+// violate both setup and hold (skewed capture clock plus a wide min/max
+// delay spread), and folding those into one summary would mix setup and
+// hold slacks in WorstSlack and report a first-seen Type.
+type pairKey struct {
+	Pair
+	Type PathType
 }
 
 // Result is the outcome of one STA run.
@@ -190,23 +200,22 @@ func (a *analysis) computeClockArrivals() {
 	nl := a.nl
 	a.clkLate = make([]float64, len(nl.Cells))
 	a.clkEarly = make([]float64, len(nl.Cells))
-	memo := map[netlist.NetID]float64{}
-	var walk func(n netlist.NetID) float64
-	walk = func(n netlist.NetID) float64 {
-		if v, ok := memo[n]; ok {
-			return v
+	// Clock cells appear in Topo() after the cells driving their inputs,
+	// so one forward pass over a slice memo computes every clock net's
+	// arrival — no recursion on deep clock chains, no map allocation.
+	// Nets not driven by clock cells keep arrival 0, like the recursive
+	// walk's default.
+	arr := make([]float64, nl.NumNets)
+	for _, cid := range nl.Topo() {
+		c := &nl.Cells[cid]
+		if c.Kind.IsClock() {
+			arr[c.Out] = arr[c.In[0]] + a.dmax[cid]
 		}
-		var arr float64
-		if d := nl.Driver(n); d != netlist.NoCell && nl.Cells[d].Kind.IsClock() {
-			arr = walk(nl.Cells[d].In[0]) + a.dmax[d]
-		}
-		memo[n] = arr
-		return arr
 	}
 	for i, c := range nl.Cells {
 		if c.Kind == cell.DFF {
-			arr := walk(c.Clk)
-			a.clkLate[i], a.clkEarly[i] = arr, arr
+			v := arr[c.Clk]
+			a.clkLate[i], a.clkEarly[i] = v, v
 		}
 	}
 }
@@ -263,7 +272,7 @@ func (a *analysis) check() *Result {
 		Factor:       a.factor,
 		ClockArrival: make(map[netlist.CellID]float64),
 	}
-	pairs := map[Pair]*PairSummary{}
+	pairs := map[pairKey]*PairSummary{}
 	budget := a.cfg.MaxPaths
 
 	for i, c := range nl.Cells {
@@ -309,23 +318,34 @@ func (a *analysis) check() *Result {
 	for _, p := range pairs {
 		res.Pairs = append(res.Pairs, *p)
 	}
-	sort.Slice(res.Pairs, func(i, j int) bool {
-		if res.Pairs[i].WorstSlack != res.Pairs[j].WorstSlack {
-			return res.Pairs[i].WorstSlack < res.Pairs[j].WorstSlack
-		}
-		if res.Pairs[i].Start != res.Pairs[j].Start {
-			return res.Pairs[i].Start < res.Pairs[j].Start
-		}
-		return res.Pairs[i].End < res.Pairs[j].End
-	})
+	sortPairs(res.Pairs)
 	return res
+}
+
+// sortPairs orders pair summaries worst-first with a total tiebreak
+// (slack, start, end, type) so report order never depends on map
+// iteration. Shared by the scalar and batched engines — identical order
+// is part of their bit-identity contract.
+func sortPairs(ps []PairSummary) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].WorstSlack != ps[j].WorstSlack {
+			return ps[i].WorstSlack < ps[j].WorstSlack
+		}
+		if ps[i].Start != ps[j].Start {
+			return ps[i].Start < ps[j].Start
+		}
+		if ps[i].End != ps[j].End {
+			return ps[i].End < ps[j].End
+		}
+		return ps[i].Type < ps[j].Type
+	})
 }
 
 // enumerate counts every violating path into endpoint end (bounded DFS
 // with arrival-time pruning) and folds them into the per-pair summaries.
 // It returns the number found and whether the budget truncated the walk.
 func (a *analysis) enumerate(end netlist.CellID, dNet netlist.NetID, required float64,
-	t PathType, pairs map[Pair]*PairSummary, budget int) (int, bool) {
+	t PathType, pairs map[pairKey]*PairSummary, budget int) (int, bool) {
 
 	nl := a.nl
 	found := 0
@@ -365,11 +385,11 @@ func (a *analysis) enumerate(end netlist.CellID, dNet netlist.NetID, required fl
 				return
 			}
 			found++
-			p := Pair{Start: d, End: end}
-			s, ok := pairs[p]
+			key := pairKey{Pair: Pair{Start: d, End: end}, Type: t}
+			s, ok := pairs[key]
 			if !ok {
-				s = &PairSummary{Pair: p, Type: t, WorstSlack: slack}
-				pairs[p] = s
+				s = &PairSummary{Pair: key.Pair, Type: t, WorstSlack: slack}
+				pairs[key] = s
 			}
 			s.Paths++
 			if slack < s.WorstSlack {
@@ -399,20 +419,50 @@ func (a *analysis) enumerate(end netlist.CellID, dNet netlist.NetID, required fl
 // design just meets setup timing. It is used to calibrate the synthesis
 // margin (see Calibrate).
 func CriticalDelay(nl *netlist.Netlist, base *cell.Library) float64 {
-	a := newAnalysis(nl, Config{PeriodPs: 0, Base: base})
-	a.computeCellTiming()
-	a.computeClockArrivals()
-	a.propagateArrivals()
+	// Runs on the compiled graph: Calibrate is called at workflow
+	// construction for the same netlists the batched engine analyzes, so
+	// the compile is shared. Fresh and unscaled means the max-delay
+	// vector is just the library's (x·1·1 is bitwise x, so this matches
+	// the scalar computeCellTiming path exactly).
+	g := CachedGraph(nl)
+	dmax := make([]float64, g.numCells)
+	for i := 0; i < g.numCells; i++ {
+		dmax[i] = base.Timing[g.kind[i]].DelayMax
+	}
+	clk := make([]float64, g.numNets)
+	for i := range g.clockOps {
+		op := &g.clockOps[i]
+		clk[op.out] = clk[op.in] + dmax[op.cellID]
+	}
+	arrMax := make([]float64, g.numNets)
+	for n := range arrMax {
+		arrMax[n] = -inf
+	}
+	for i := range g.endpoints {
+		e := &g.endpoints[i]
+		arrMax[e.q] = clk[e.clk] + dmax[e.cellID]
+	}
+	for i := range g.combOps {
+		op := &g.combOps[i]
+		hi := -inf
+		lo, hiIdx := g.cellInLo[op.cellID], g.cellInLo[op.cellID+1]
+		for j := lo; j < hiIdx; j++ {
+			if a := arrMax[g.cellIn[j]]; a > hi {
+				hi = a
+			}
+		}
+		if hi > -inf {
+			arrMax[op.out] = hi + dmax[op.cellID]
+		}
+	}
+	setup := base.Timing[cell.DFF].Setup
 	worst := 0.0
-	for i, c := range nl.Cells {
-		if c.Kind != cell.DFF {
+	for i := range g.endpoints {
+		e := &g.endpoints[i]
+		if arrMax[e.d] == -inf {
 			continue
 		}
-		d := c.In[0]
-		if a.arrMax[d] == -inf {
-			continue
-		}
-		eff := a.arrMax[d] - a.clkEarly[i] + a.setup
+		eff := arrMax[e.d] - clk[e.clk] + setup
 		if eff > worst {
 			worst = eff
 		}
