@@ -165,7 +165,10 @@ func BenchmarkTable6_DetectionQuality(b *testing.B) {
 	suite := w.Suite()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows := w.TestQuality(suite)
+		rows, err := w.TestQuality(suite)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(rows[0].Pct(rows[0].Detected), "C0-detected-%")
 		b.ReportMetric(rows[1].Pct(rows[1].Detected), "C1-detected-%")
 		b.ReportMetric(rows[2].Pct(rows[2].Detected), "CR-detected-%")
@@ -182,7 +185,10 @@ func BenchmarkTable7_VegaVsRandom(b *testing.B) {
 	suite := w.Suite()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows := w.VsRandom(suite, 3)
+		rows, err := w.VsRandom(suite, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(rows[0].VegaPct, "C0-vega-%")
 		b.ReportMetric(rows[0].RandomPct, "C0-random-%")
 	}
@@ -314,7 +320,10 @@ func BenchmarkAblation_Conditioning(b *testing.B) {
 		suite := w.Suite()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			rows := w.TestQuality(suite)
+			rows, err := w.TestQuality(suite)
+			if err != nil {
+				b.Fatal(err)
+			}
 			b.ReportMetric(rows[0].Pct(rows[0].Detected), "C0-detected-%")
 		}
 	}
@@ -397,7 +406,10 @@ func BenchmarkParallelism(b *testing.B) {
 		suite := w.Suite()
 		b.Run(fmt.Sprintf("test-quality/j-%d", jobs), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				rows := w.TestQuality(suite)
+				rows, err := w.TestQuality(suite)
+				if err != nil {
+					b.Fatal(err)
+				}
 				b.ReportMetric(rows[0].Pct(rows[0].Detected), "C0-detected-%")
 			}
 		})

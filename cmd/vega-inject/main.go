@@ -1,0 +1,116 @@
+// vega-inject runs the fault-injection campaign: it lifts a unit's test
+// suite, samples fault universes the pipeline did NOT target (off-path
+// stuck-at, transient flips, intermittent flips, multi-fault silicon),
+// runs every injection under the suite, and prints the escape-rate
+// table per fault class. Campaigns can be deadline-bounded (-deadline)
+// and checkpointed (-checkpoint): an interrupted run resumes to the
+// identical final report.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/inject"
+	"repro/internal/report"
+)
+
+func main() {
+	unit := flag.String("unit", "ALU", "unit to inject (ALU or FPU)")
+	seed := flag.Uint64("seed", 1, "fault-universe sampling seed")
+	perClass := flag.Int("n", 25, "injections per fault class")
+	mode := flag.String("mode", "standalone", "program under injection: standalone (suite image) or embedded (workload carrying the suite)")
+	workload := flag.String("workload", "crc32", "embedded-mode benchmark")
+	budget := flag.Float64("budget", 0.01, "embedded-mode integration overhead budget")
+	maxCycles := flag.Uint64("max-cycles", 0, "per-injection cycle budget (0 = engine default)")
+	deadline := flag.Duration("deadline", 0, "overall wall-clock deadline (0 = none); an expired campaign reports coverage so far")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file for resume (atomic JSON)")
+	jsonOut := flag.String("json", "", "write the full report JSON to this file")
+	years := flag.Float64("years", 10, "assumed lifetime in years")
+	jobs := flag.Int("j", 0, "worker parallelism (0 = all CPUs, 1 = sequential)")
+	flag.Parse()
+
+	var mk func(core.Config) *core.Workflow
+	switch *unit {
+	case "ALU":
+		mk = core.NewALU
+	case "FPU":
+		mk = core.NewFPU
+	default:
+		log.Fatalf("unknown unit %q", *unit)
+	}
+	w := mk(core.Config{Years: *years, Parallelism: *jobs})
+	fmt.Printf("lifting %s ...\n", w.Describe())
+	if _, err := w.ErrorLifting(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("suite: %d cases; sampling %d injections per class (seed %d, mode %s)\n",
+		len(w.Suite().Cases), *perClass, *seed, *mode)
+
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+	start := time.Now()
+	rep, err := w.InjectionCampaign(ctx, core.InjectOptions{
+		Seed:           *seed,
+		PerClass:       *perClass,
+		Mode:           *mode,
+		Workload:       *workload,
+		Budget:         *budget,
+		MaxCycles:      *maxCycles,
+		CheckpointPath: *checkpoint,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("campaign: %d/%d injections classified in %s", rep.Completed, rep.Total,
+		time.Since(start).Round(time.Millisecond))
+	if rep.Partial {
+		fmt.Printf(" (PARTIAL — deadline hit; coverage so far, resume with -checkpoint)")
+	}
+	fmt.Println()
+
+	fmt.Printf("\nEscape rates per fault class (%s, %s mode):\n", rep.Unit, rep.Mode)
+	fmt.Print(report.EscapeTable(rep))
+
+	escaped := 0
+	for _, r := range rep.Results {
+		if r.Outcome == inject.SDCEscape.String() {
+			escaped++
+		}
+	}
+	if escaped > 0 {
+		fmt.Printf("\n%d silent escapes:\n", escaped)
+		for _, r := range rep.Results {
+			if r.Outcome == inject.SDCEscape.String() {
+				fmt.Printf("  %s (%d cycles)\n", r.Spec, r.Cycles)
+			}
+		}
+	}
+	detectedCases := 0
+	for _, r := range rep.Results {
+		if r.Outcome == inject.Detected.String() {
+			detectedCases++
+		}
+	}
+	fmt.Printf("\ntotals: detected %d, escapes %d of %d completed\n", detectedCases, escaped, rep.Completed)
+
+	if *jsonOut != "" {
+		data, err := rep.JSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("report written to %s\n", *jsonOut)
+	}
+}

@@ -37,7 +37,11 @@ func main() {
 		for i, mitigation := range []bool{false, true} {
 			fmt.Printf("evaluating %s suite (mitigation=%v, %d cases) against failing netlists ...\n",
 				flows[i].Module.Name, mitigation, len(suites[i].Cases))
-			for _, q := range flows[i].TestQuality(suites[i]) {
+			qrows, err := flows[i].TestQuality(suites[i])
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, q := range qrows {
 				t6rows = append(t6rows, []string{
 					q.Unit, cfg(mitigation), q.FM.String(),
 					report.Pct(q.Pct(q.Detected)), report.Pct(q.Pct(q.Before)),
@@ -47,7 +51,11 @@ func main() {
 		}
 
 		fmt.Printf("Table 7 comparison for %s (%d random seeds) ...\n", flows[0].Module.Name, *seeds)
-		for _, r := range flows[0].VsRandom(suites[0], *seeds) {
+		vrows, err := flows[0].VsRandom(suites[0], *seeds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range vrows {
 			t7rows = append(t7rows, []string{
 				r.Unit, r.FM.String(),
 				report.Pct(r.VegaPct), report.Pct(r.RandomPct),

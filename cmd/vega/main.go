@@ -57,7 +57,11 @@ func main() {
 		fmt.Printf("  suite: %d test cases, %d cycles per full pass\n", len(suite.Cases), cycles)
 
 		fmt.Println("phase 2b: validation against emulated aged silicon")
-		for _, q := range w.TestQuality(suite) {
+		qrows, err := w.TestQuality(suite)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, q := range qrows {
 			fmt.Printf("  FM C=%s: detected %.1f%% (B %.1f%%, L %.1f%%, S %.1f%%)\n",
 				q.FM, q.Pct(q.Detected), q.Pct(q.Before), q.Pct(q.Later), q.Pct(q.Stall))
 		}
@@ -68,9 +72,16 @@ func main() {
 	fmt.Println("phase 3: profile-guided test integration (sample: crc32)")
 	merged := core.MergeSuites(suites...)
 	b, _ := embench.ByName("crc32")
-	img := b.Build()
+	img, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
 	prof := profile.Collect(img, core.MemSize, core.MaxCycles)
-	site, err := integrate.ChooseSite(prof, merged.InstCount(), *budget)
+	insts, err := merged.InstCount()
+	if err != nil {
+		log.Fatal(err)
+	}
+	site, err := integrate.ChooseSite(prof, insts, *budget)
 	if err != nil {
 		log.Fatal(err)
 	}

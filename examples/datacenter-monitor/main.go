@@ -90,7 +90,11 @@ func buildService() (*isa.Image, uint32) {
 	a.Label("ok")
 	a.Li(isa.A0, 0)
 	a.Ecall()
-	return a.MustAssemble(), digest
+	img, err := a.Assemble()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return img, digest
 }
 
 func main() {
@@ -125,7 +129,11 @@ func main() {
 	if prof == nil {
 		log.Fatal("service failed during profiling")
 	}
-	site, err := integrate.ChooseSite(prof, suite.InstCount(), 0.01)
+	suiteInsts, err := suite.InstCount()
+	if err != nil {
+		log.Fatal(err)
+	}
+	site, err := integrate.ChooseSite(prof, suiteInsts, 0.01)
 	if err != nil {
 		log.Fatal(err)
 	}

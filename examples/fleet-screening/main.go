@@ -66,7 +66,10 @@ func main() {
 	}
 
 	screen := func(s *lift.Suite, m machine) bool {
-		img := s.Image()
+		img, err := s.Image()
+		if err != nil {
+			log.Fatal(err)
+		}
 		c := cpu.New(core.MemSize)
 		if m.degraded {
 			c.ALU = cpu.NewNetlistALU(w.Module, fault.FailingNetlist(w.Module.Netlist, m.spec))
@@ -105,8 +108,12 @@ func main() {
 		[]string{"Machine", "Age (y)", "True state", "Vega screen", "Random screen"}, rows))
 	fmt.Printf("\nscreening accuracy: Vega %d/%d, random %d/%d\n",
 		vegaOK, fleetSize, randOK, fleetSize)
+	suiteInsts, err := suite.InstCount()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("one Vega screening pass is %d instructions (~%s); schedule it every second, not every quarter.\n",
-		suite.InstCount(), "hundreds of cycles")
+		suiteInsts, "hundreds of cycles")
 }
 
 func verdict(flagged, degraded bool) string {

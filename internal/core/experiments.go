@@ -234,7 +234,9 @@ func suitePairs(s *lift.Suite) []struct {
 
 // runSuiteAgainst executes the suite image on a CPU whose unit is the
 // given failing netlist and classifies the outcome relative to ownIdx.
-func (w *Workflow) runSuiteAgainst(img *isa.Image, spec fault.Spec, ownIdx int) Detection {
+// The context is polled during emulation (cpu.RunCtx), so a cancelled
+// replay experiment stops mid-run instead of finishing the image.
+func (w *Workflow) runSuiteAgainst(ctx context.Context, img *isa.Image, spec fault.Spec, ownIdx int) Detection {
 	failing := fault.FailingNetlist(w.Module.Netlist, spec)
 	c := cpu.New(MemSize)
 	if w.Module.Name == "ALU" {
@@ -243,7 +245,7 @@ func (w *Workflow) runSuiteAgainst(img *isa.Image, spec fault.Spec, ownIdx int) 
 		c.FPU = cpu.NewNetlistFPU(w.Module, failing)
 	}
 	c.Load(img)
-	switch c.Run(MaxCycles) {
+	switch c.RunCtx(ctx, MaxCycles) {
 	case cpu.HaltBreak:
 		caught := lift.FailedCase(c.X[isa.S1])
 		switch {
@@ -267,9 +269,13 @@ func (w *Workflow) runSuiteAgainst(img *isa.Image, spec fault.Spec, ownIdx int) 
 // TestQuality runs the paper's Table 6 experiment for the given suite:
 // for every unique pair with a test case, emulate the aged silicon with
 // the corresponding failing netlist in each failure mode (C=0, C=1,
-// random) and run the whole suite against it.
-func (w *Workflow) TestQuality(s *lift.Suite) []QualityRow {
-	img := s.Image()
+// random) and run the whole suite against it. A failed replay task (or a
+// cancelled pool) is an error, not a silently zero-tallied detection.
+func (w *Workflow) TestQuality(s *lift.Suite) ([]QualityRow, error) {
+	img, err := s.Image()
+	if err != nil {
+		return nil, err
+	}
 	pairs := suitePairs(s)
 	modes := []fault.CValue{fault.C0, fault.C1, fault.CRandom}
 
@@ -278,13 +284,16 @@ func (w *Workflow) TestQuality(s *lift.Suite) []QualityRow {
 	// read-only suite image and module. Outcomes are collected in task
 	// order and tallied sequentially below — identical to the nested
 	// sequential loops at any parallelism.
-	dets, _ := par.Map(context.Background(), len(modes)*len(pairs), w.Config.Parallelism,
-		func(_ context.Context, i int) (Detection, error) {
+	dets, err := par.Map(context.Background(), len(modes)*len(pairs), w.Config.Parallelism,
+		func(ctx context.Context, i int) (Detection, error) {
 			mode := modes[i/len(pairs)]
 			p := pairs[i%len(pairs)]
 			spec := fault.Spec{Type: p.Type, Start: p.Pair.Start, End: p.Pair.End, C: mode}
-			return w.runSuiteAgainst(img, spec, p.OwnIdx), nil
+			return w.runSuiteAgainst(ctx, img, spec, p.OwnIdx), nil
 		})
+	if err != nil {
+		return nil, err
+	}
 
 	var rows []QualityRow
 	for mi, mode := range modes {
@@ -306,7 +315,7 @@ func (w *Workflow) TestQuality(s *lift.Suite) []QualityRow {
 		}
 		rows = append(rows, row)
 	}
-	return rows
+	return rows, nil
 }
 
 // ---- Table 7: Vega vs random test suites ----
@@ -320,9 +329,14 @@ type VsRandomRow struct {
 }
 
 // VsRandom runs the Table 7 comparison: the Vega suite against random
-// suites of the same size, averaged over the given number of seeds.
-func (w *Workflow) VsRandom(s *lift.Suite, seeds int) []VsRandomRow {
-	img := s.Image()
+// suites of the same size, averaged over the given number of seeds. A
+// failed replay task (or a cancelled pool) is an error, not a silently
+// zero-tallied detection.
+func (w *Workflow) VsRandom(s *lift.Suite, seeds int) ([]VsRandomRow, error) {
+	img, err := s.Image()
+	if err != nil {
+		return nil, err
+	}
 	pairs := suitePairs(s)
 	modes := []fault.CValue{fault.C0, fault.C1, fault.CRandom}
 
@@ -332,7 +346,10 @@ func (w *Workflow) VsRandom(s *lift.Suite, seeds int) []VsRandomRow {
 	// replay task.
 	rImgs := make([]*isa.Image, seeds)
 	for seed := range rImgs {
-		rImgs[seed] = lift.RandomSuite(w.Module, len(s.Cases), int64(1000+seed)).Image()
+		rImgs[seed], err = lift.RandomSuite(w.Module, len(s.Cases), int64(1000+seed)).Image()
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	// One task per (mode, pair, suite): suite index 0 is the Vega suite,
@@ -340,18 +357,21 @@ func (w *Workflow) VsRandom(s *lift.Suite, seeds int) []VsRandomRow {
 	// in task order and reduced sequentially, so percentages accumulate
 	// in the same order as the nested sequential loops.
 	perPair := 1 + seeds
-	detected, _ := par.Map(context.Background(), len(modes)*len(pairs)*perPair, w.Config.Parallelism,
-		func(_ context.Context, i int) (bool, error) {
+	detected, err := par.Map(context.Background(), len(modes)*len(pairs)*perPair, w.Config.Parallelism,
+		func(ctx context.Context, i int) (bool, error) {
 			mode := modes[i/(len(pairs)*perPair)]
 			rem := i % (len(pairs) * perPair)
 			p := pairs[rem/perPair]
 			k := rem % perPair
 			spec := fault.Spec{Type: p.Type, Start: p.Pair.Start, End: p.Pair.End, C: mode}
 			if k == 0 {
-				return w.runSuiteAgainst(img, spec, p.OwnIdx) != Missed, nil
+				return w.runSuiteAgainst(ctx, img, spec, p.OwnIdx) != Missed, nil
 			}
-			return w.runSuiteAgainst(rImgs[k-1], spec, -1) != Missed, nil
+			return w.runSuiteAgainst(ctx, rImgs[k-1], spec, -1) != Missed, nil
 		})
+	if err != nil {
+		return nil, err
+	}
 
 	at := func(mi, pi, k int) bool { return detected[(mi*len(pairs)+pi)*perPair+k] }
 	var rows []VsRandomRow
@@ -378,7 +398,7 @@ func (w *Workflow) VsRandom(s *lift.Suite, seeds int) []VsRandomRow {
 		row.RandomPct = randTotal / float64(seeds)
 		rows = append(rows, row)
 	}
-	return rows
+	return rows, nil
 }
 
 // ---- Figure 9: integration overhead on embench ----
@@ -396,7 +416,11 @@ type Figure9Row struct {
 func Figure9(suite *lift.Suite, config string, budget float64) ([]Figure9Row, error) {
 	var rows []Figure9Row
 	for _, b := range embench.All {
-		o, err := integrate.MeasureOverhead(b.Name, b.Build(), suite, budget, MemSize, MaxCycles)
+		app, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+		o, err := integrate.MeasureOverhead(b.Name, app, suite, budget, MemSize, MaxCycles)
 		if err != nil {
 			return nil, err
 		}

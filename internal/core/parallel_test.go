@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"reflect"
 	"testing"
@@ -8,8 +9,10 @@ import (
 	"repro/internal/aging"
 	"repro/internal/alu"
 	"repro/internal/cell"
+	"repro/internal/inject"
 	"repro/internal/lift"
 	"repro/internal/par"
+	"repro/internal/sta"
 )
 
 // liftedALU runs the full pipeline (profile → aged STA → error lifting)
@@ -54,8 +57,14 @@ func TestParallelismDeterminism(t *testing.T) {
 	if !reflect.DeepEqual(s1, s8) {
 		t.Fatal("assembled suites differ")
 	}
-	q1 := w1.TestQuality(s1)
-	q8 := w8.TestQuality(s8)
+	q1, err := w1.TestQuality(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q8, err := w8.TestQuality(s8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(q1) == 0 || !reflect.DeepEqual(q1, q8) {
 		t.Errorf("TestQuality rows differ:\n  j=1: %+v\n  j=8: %+v", q1, q8)
 	}
@@ -93,8 +102,14 @@ func TestParallelismDeterminismSweeps(t *testing.T) {
 		t.Errorf("temperature sweeps differ: %+v vs %+v", tp1, tp8)
 	}
 
-	v1 := w1.VsRandom(w1.Suite(), 2)
-	v8 := w8.VsRandom(w8.Suite(), 2)
+	v1, err := w1.VsRandom(w1.Suite(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v8, err := w8.VsRandom(w8.Suite(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !reflect.DeepEqual(v1, v8) {
 		t.Errorf("VsRandom rows differ: %+v vs %+v", v1, v8)
 	}
@@ -163,5 +178,47 @@ func TestConcurrentWorkflowsSharedLibrary(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestInjectionCampaignDeterminism wires the campaign through the full
+// workflow (lift -> sample universe excluding the STA census -> inject)
+// and pins the j=1 vs j=8 byte-identical-report contract at this level
+// too.
+func TestInjectionCampaignDeterminism(t *testing.T) {
+	w1 := liftedALU(t, 1)
+	w8 := liftedALU(t, 8)
+	opts := InjectOptions{Seed: 5, PerClass: 2, MaxCycles: 20_000_000}
+	r1, err := w1.InjectionCampaign(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := w8.InjectionCampaign(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err1 := r1.JSON()
+	j8, err8 := r8.JSON()
+	if err1 != nil || err8 != nil {
+		t.Fatal(err1, err8)
+	}
+	if !bytes.Equal(j1, j8) {
+		t.Errorf("campaign reports differ between j=1 and j=8:\n%s\n---\n%s", j1, j8)
+	}
+	if r1.Completed != r1.Total || r1.Total != 8 {
+		t.Errorf("campaign completed %d/%d, want 8/8", r1.Completed, r1.Total)
+	}
+	// The sampled universe must exclude every STA-census pair: the
+	// campaign measures robustness beyond the suite's design target.
+	excl := make(map[sta.Pair]bool)
+	for _, p := range w1.STA.Pairs {
+		excl[p.Pair] = true
+	}
+	for _, s := range inject.SampleUniverse(w1.Module, w1.STA.Pairs, 5, 5) {
+		for _, f := range s.Faults {
+			if excl[sta.Pair{Start: f.Start, End: f.End}] {
+				t.Errorf("sampled spec %s hits an STA-census pair", s.String())
+			}
+		}
 	}
 }

@@ -135,12 +135,16 @@ func (w *Workflow) ProfileWorkloads() error {
 	}
 	runs, err := par.Map(ctx, len(benches), w.Config.Parallelism, func(_ context.Context, i int) (workloadRun, error) {
 		b := benches[i]
+		img, err := b.Build()
+		if err != nil {
+			return workloadRun{}, fmt.Errorf("core: workload %s: %w", b.Name, err)
+		}
 		c := cpu.New(MemSize)
 		recALU := &cpu.RecordingALU{}
 		recFPU := &cpu.RecordingFPU{}
 		c.ALU = recALU
 		c.FPU = recFPU
-		c.Load(b.Build())
+		c.Load(img)
 		if halt := c.Run(MaxCycles); halt != cpu.HaltExit || c.ExitCode != 0 {
 			return workloadRun{}, fmt.Errorf("core: workload %s failed (halt=%v exit=%d)", b.Name, halt, c.ExitCode)
 		}
@@ -317,8 +321,12 @@ func SuiteCycles(s *lift.Suite) (uint64, error) {
 	if len(s.Cases) == 0 {
 		return 0, nil
 	}
+	img, err := s.Image()
+	if err != nil {
+		return 0, err
+	}
 	c := cpu.New(MemSize)
-	c.Load(s.Image())
+	c.Load(img)
 	if halt := c.Run(MaxCycles); halt != cpu.HaltExit || c.ExitCode != 0 {
 		return 0, fmt.Errorf("core: suite failed on healthy CPU (halt=%v exit=%d case=%d)",
 			halt, c.ExitCode, c.X[9])

@@ -13,6 +13,7 @@
 package cpu
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/alu"
@@ -31,6 +32,9 @@ const (
 	HaltStalled
 	HaltFault
 	HaltLimit
+	// HaltInterrupted means RunCtx's context was cancelled mid-run; the
+	// architectural state is valid but the program is unfinished.
+	HaltInterrupted
 )
 
 func (h HaltReason) String() string {
@@ -45,6 +49,8 @@ func (h HaltReason) String() string {
 		return "stalled"
 	case HaltFault:
 		return "fault"
+	case HaltInterrupted:
+		return "interrupted"
 	}
 	return "limit"
 }
@@ -486,6 +492,44 @@ func (c *CPU) Run(maxCycles uint64) HaltReason {
 			break
 		}
 		c.Step()
+	}
+	return c.Halt
+}
+
+// ctxCheckSteps is how many instructions RunCtx retires between context
+// polls. A select on ctx.Done() costs ~tens of ns; amortized over 4096
+// steps it is invisible even for behavioural-speed emulation, while
+// keeping cancellation latency well under a millisecond of wall time.
+const ctxCheckSteps = 4096
+
+// RunCtx is Run with cooperative cancellation: the context is polled
+// every ctxCheckSteps retired instructions, and a cancelled context halts
+// the CPU with HaltInterrupted. Long campaign runs (and the suite-replay
+// experiments) go through here so a wall-clock deadline can stop an
+// emulation that is deep inside a hung or runaway program. An
+// interrupted CPU is resumable: calling RunCtx again (with a live
+// context) continues from the interrupted state.
+func (c *CPU) RunCtx(ctx context.Context, maxCycles uint64) HaltReason {
+	if c.Halt == HaltInterrupted {
+		c.Halt = Running
+	}
+	if ctx.Done() == nil {
+		return c.Run(maxCycles)
+	}
+	for c.Halt == Running {
+		select {
+		case <-ctx.Done():
+			c.Halt = HaltInterrupted
+			return c.Halt
+		default:
+		}
+		for i := 0; i < ctxCheckSteps && c.Halt == Running; i++ {
+			if c.Cycles >= maxCycles {
+				c.Halt = HaltLimit
+				return c.Halt
+			}
+			c.Step()
+		}
 	}
 	return c.Halt
 }

@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -14,6 +15,15 @@ import (
 )
 
 const memSize = 1 << 20
+
+func mustAsm(t testing.TB, a *isa.Asm) *isa.Image {
+	t.Helper()
+	img, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
 
 func runImage(t *testing.T, img *isa.Image) *CPU {
 	t.Helper()
@@ -37,7 +47,7 @@ func TestArithmeticLoop(t *testing.T) {
 	a.Bne(isa.T1, isa.T2, "loop")
 	a.Mv(isa.A0, isa.T0)
 	a.Ecall()
-	c := runImage(t, a.MustAssemble())
+	c := runImage(t, mustAsm(t, a))
 	if c.ExitCode != 5050 {
 		t.Errorf("exit = %d, want 5050", c.ExitCode)
 	}
@@ -68,7 +78,7 @@ func TestMemoryAndCalls(t *testing.T) {
 	a.Ret()
 	a.Label("base")
 	a.Ret()
-	c := runImage(t, a.MustAssemble())
+	c := runImage(t, mustAsm(t, a))
 	if c.ExitCode != 55 {
 		t.Errorf("fib(10) = %d, want 55", c.ExitCode)
 	}
@@ -90,7 +100,7 @@ func TestLoadStoreVariants(t *testing.T) {
 	a.Add(isa.A0, isa.A0, isa.T4)
 	a.Add(isa.A0, isa.A0, isa.T5)
 	a.Ecall()
-	c := runImage(t, a.MustAssemble())
+	c := runImage(t, mustAsm(t, a))
 	var want uint32
 	for _, v := range []uint32{0xffffff80, 0x80, 0xffff8000, 0x8000} {
 		want += v
@@ -113,7 +123,7 @@ func TestMulDiv(t *testing.T) {
 	a.Add(isa.A0, isa.T3, isa.T4)
 	a.Add(isa.A0, isa.A0, isa.T6)
 	a.Ecall()
-	c := runImage(t, a.MustAssemble())
+	c := runImage(t, mustAsm(t, a))
 	var want uint32
 	for _, v := range []uint32{0xfffffff9, 0xffffffff, 0xffffffff} {
 		want += v
@@ -133,7 +143,7 @@ func TestMulhVariants(t *testing.T) {
 	a.Add(isa.A0, isa.T2, isa.T3)
 	a.Add(isa.A0, isa.A0, isa.T4)
 	a.Ecall()
-	c := runImage(t, a.MustAssemble())
+	c := runImage(t, mustAsm(t, a))
 	if c.ExitCode != 0xffffffff {
 		t.Errorf("exit = %#x", c.ExitCode)
 	}
@@ -149,7 +159,7 @@ func TestFloatProgram(t *testing.T) {
 	a.Fmul(5, 4, 3)
 	a.FcvtWS(isa.A0, 5)
 	a.Ecall()
-	c := runImage(t, a.MustAssemble())
+	c := runImage(t, mustAsm(t, a))
 	if c.ExitCode != 8 {
 		t.Errorf("exit = %d, want 8", c.ExitCode)
 	}
@@ -166,7 +176,7 @@ func TestFflagsStickyAndCSR(t *testing.T) {
 	a.Fadd(3, 1, 2)
 	a.Csrrs(isa.A0, isa.CSRFflags, isa.Zero)
 	a.Ecall()
-	c := runImage(t, a.MustAssemble())
+	c := runImage(t, mustAsm(t, a))
 	if c.ExitCode&uint32(fpu.FlagNX) == 0 {
 		t.Errorf("fflags = %#x, want NX set", c.ExitCode)
 	}
@@ -175,7 +185,7 @@ func TestFflagsStickyAndCSR(t *testing.T) {
 func TestEbreakHalts(t *testing.T) {
 	a := isa.NewAsm()
 	a.Ebreak()
-	img := a.MustAssemble()
+	img := mustAsm(t, a)
 	c := New(memSize)
 	c.Load(img)
 	if got := c.Run(1000); got != HaltBreak {
@@ -185,7 +195,7 @@ func TestEbreakHalts(t *testing.T) {
 
 func TestDecodeFaultHalts(t *testing.T) {
 	c := New(memSize)
-	img := isa.NewAsm().MustAssemble()
+	img := mustAsm(t, isa.NewAsm())
 	c.Load(img) // empty program: PC reads zeroed memory
 	if got := c.Run(1000); got != HaltFault {
 		t.Fatalf("halt = %v, want fault", got)
@@ -197,7 +207,7 @@ func TestCycleLimit(t *testing.T) {
 	a.Label("spin")
 	a.J("spin")
 	c := New(memSize)
-	c.Load(a.MustAssemble())
+	c.Load(mustAsm(t, a))
 	if got := c.Run(100); got != HaltLimit {
 		t.Fatalf("halt = %v, want limit", got)
 	}
@@ -205,7 +215,7 @@ func TestCycleLimit(t *testing.T) {
 
 // randomALUProgram builds a program chaining random ALU operations and
 // returning a checksum.
-func randomALUProgram(seed int64, n int) (*isa.Image, uint32) {
+func randomALUProgram(t testing.TB, seed int64, n int) (*isa.Image, uint32) {
 	rng := rand.New(rand.NewSource(seed))
 	a := isa.NewAsm()
 	ops := []func(rd, rs1, rs2 isa.Reg){
@@ -230,11 +240,11 @@ func randomALUProgram(seed int64, n int) (*isa.Image, uint32) {
 	}
 	a.Mv(isa.A0, isa.T1)
 	a.Ecall()
-	return a.MustAssemble(), sum
+	return mustAsm(t, a), sum
 }
 
 func TestNetlistALUMatchesBehavioral(t *testing.T) {
-	img, want := randomALUProgram(9, 60)
+	img, want := randomALUProgram(t, 9, 60)
 	m := alu.Build()
 	c := New(memSize)
 	c.ALU = NewNetlistALU(m, m.Netlist)
@@ -260,7 +270,7 @@ func TestNetlistFPUMatchesBehavioral(t *testing.T) {
 	a.FmvXW(isa.T2, 4)
 	a.Add(isa.A0, isa.T1, isa.T2)
 	a.Ecall()
-	img := a.MustAssemble()
+	img := mustAsm(t, a)
 
 	ref := New(memSize)
 	ref.Load(img)
@@ -281,7 +291,7 @@ func TestNetlistFPUMatchesBehavioral(t *testing.T) {
 func TestFailingNetlistCorruptsProgram(t *testing.T) {
 	// Run the random ALU program on a failing ALU whose fault endpoint
 	// is a result register: the checksum must differ (or the CPU stall).
-	img, want := randomALUProgram(10, 60)
+	img, want := randomALUProgram(t, 10, 60)
 	m := alu.Build()
 	out, _ := m.Netlist.FindOutput(module.PortResult)
 	end := m.Netlist.Driver(out.Bits[0])
@@ -305,7 +315,7 @@ func TestFailingNetlistCorruptsProgram(t *testing.T) {
 }
 
 func TestRecordingBackends(t *testing.T) {
-	img, _ := randomALUProgram(11, 20)
+	img, _ := randomALUProgram(t, 11, 20)
 	rec := &RecordingALU{}
 	c := New(memSize)
 	c.ALU = rec
@@ -329,7 +339,7 @@ func TestInstHook(t *testing.T) {
 	c := New(memSize)
 	count := 0
 	c.InstHook = func(pc uint32, inst isa.Inst) { count++ }
-	c.Load(a.MustAssemble())
+	c.Load(mustAsm(t, a))
 	c.Run(1000)
 	if count != 2 {
 		t.Errorf("hook saw %d instructions, want 2", count)
@@ -344,9 +354,125 @@ func TestCyclesAccumulate(t *testing.T) {
 	a.Bnez(isa.T0, "l")
 	a.Ecall()
 	c := New(memSize)
-	c.Load(a.MustAssemble())
+	c.Load(mustAsm(t, a))
 	c.Run(10_000)
 	if c.Cycles <= c.Instret {
 		t.Errorf("cycles %d should exceed instret %d (taken branches)", c.Cycles, c.Instret)
+	}
+}
+
+// --- RunCtx and halt-classification regressions ---------------------
+
+func TestRunCtxCancelledMidRun(t *testing.T) {
+	a := isa.NewAsm()
+	a.Label("spin")
+	a.J("spin")
+	c := New(memSize)
+	c.Load(mustAsm(t, a))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if got := c.RunCtx(ctx, 1<<40); got != HaltInterrupted {
+		t.Fatalf("halt = %v, want interrupted", got)
+	}
+	// The architectural state stays valid: resuming with a fresh
+	// context continues the run.
+	if got := c.RunCtx(context.Background(), 100); got != HaltLimit {
+		t.Fatalf("resumed halt = %v, want limit", got)
+	}
+}
+
+func TestRunCtxBackgroundMatchesRun(t *testing.T) {
+	// context.Background has a nil Done channel: RunCtx must take the
+	// plain Run fast path and behave identically.
+	prog := func() *isa.Image {
+		a := isa.NewAsm()
+		a.Li(isa.T0, 100)
+		a.Label("l")
+		a.Addi(isa.T0, isa.T0, -1)
+		a.Bnez(isa.T0, "l")
+		a.Mv(isa.A0, isa.T0)
+		a.Ecall()
+		return mustAsm(t, a)
+	}
+	c1, c2 := New(memSize), New(memSize)
+	c1.Load(prog())
+	c2.Load(prog())
+	h1 := c1.Run(10_000)
+	h2 := c2.RunCtx(context.Background(), 10_000)
+	if h1 != h2 || c1.Cycles != c2.Cycles || c1.ExitCode != c2.ExitCode {
+		t.Fatalf("Run (%v, %d cycles) != RunCtx (%v, %d cycles)", h1, c1.Cycles, h2, c2.Cycles)
+	}
+}
+
+func TestRunCtxHonoursCycleLimit(t *testing.T) {
+	a := isa.NewAsm()
+	a.Label("spin")
+	a.J("spin")
+	c := New(memSize)
+	c.Load(mustAsm(t, a))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if got := c.RunCtx(ctx, 1000); got != HaltLimit {
+		t.Fatalf("halt = %v, want limit", got)
+	}
+}
+
+func TestHaltFaultMisalignedStoreAtMemoryTop(t *testing.T) {
+	// A misaligned word store straddling the top of memory must fault,
+	// not wrap or partially commit.
+	a := isa.NewAsm()
+	a.Li(isa.T0, memSize-2)
+	a.Sw(isa.T1, 0, isa.T0)
+	c := New(memSize)
+	c.Load(mustAsm(t, a))
+	if got := c.Run(1000); got != HaltFault {
+		t.Fatalf("halt = %v (%s), want fault", got, c.FaultMsg)
+	}
+}
+
+func TestHaltFaultOutOfBoundsLoad(t *testing.T) {
+	a := isa.NewAsm()
+	a.Li(isa.T0, memSize)
+	a.Lw(isa.T1, 0, isa.T0)
+	c := New(memSize)
+	c.Load(mustAsm(t, a))
+	if got := c.Run(1000); got != HaltFault {
+		t.Fatalf("halt = %v (%s), want fault", got, c.FaultMsg)
+	}
+}
+
+// hungALU is a backend whose handshake never completes (ok=false), like
+// a gate-level unit that never raises out_valid within the stall limit.
+type hungALU struct{}
+
+func (hungALU) ExecALU(op alu.Op, a, b uint32) (uint32, uint32, bool) { return 0, 0, false }
+
+type hungFPU struct{}
+
+func (hungFPU) ExecFPU(op fpu.Op, a, b uint32) (uint32, uint32, bool) { return 0, 0, false }
+
+func TestHaltStalledOnHungALUHandshake(t *testing.T) {
+	a := isa.NewAsm()
+	a.Li(isa.T0, 1)
+	a.Add(isa.T1, isa.T0, isa.T0)
+	a.Ecall()
+	c := New(memSize)
+	c.ALU = hungALU{}
+	c.Load(mustAsm(t, a))
+	if got := c.Run(1000); got != HaltStalled {
+		t.Fatalf("halt = %v, want stalled", got)
+	}
+}
+
+func TestHaltStalledOnHungFPUHandshake(t *testing.T) {
+	a := isa.NewAsm()
+	a.FliBits(1, math.Float32bits(1.5), isa.T0)
+	a.Fadd(2, 1, 1)
+	a.Ecall()
+	c := New(memSize)
+	c.FPU = hungFPU{}
+	c.Load(mustAsm(t, a))
+	if got := c.Run(1000); got != HaltStalled {
+		t.Fatalf("halt = %v, want stalled", got)
 	}
 }

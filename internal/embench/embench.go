@@ -13,11 +13,14 @@ package embench
 
 import "repro/internal/isa"
 
-// Benchmark is one workload.
+// Benchmark is one workload. Build assembles the program from scratch on
+// every call; an assembly error is returned, not panicked, so callers
+// embedding campaign-generated payloads alongside a workload can fail one
+// run instead of the process.
 type Benchmark struct {
 	Name    string
 	UsesFPU bool
-	Build   func() *isa.Image
+	Build   func() (*isa.Image, error)
 }
 
 // All lists the suite in a stable order.
@@ -102,7 +105,7 @@ func crc32Ref(buf []byte) uint32 {
 	return ^crc
 }
 
-func crc32Bench() *isa.Image {
+func crc32Bench() (*isa.Image, error) {
 	const n = 1024
 	buf := crcData(n)
 	a := isa.NewAsm()
@@ -131,12 +134,12 @@ func crc32Bench() *isa.Image {
 	a.Xori(isa.A0, isa.A0, -1)
 	endRepeat(a)
 	exitCheck(a, crc32Ref(buf))
-	return a.MustAssemble()
+	return a.Assemble()
 }
 
 // --- matmult-int: C = A*B for 8x8 int32 matrices, FNV-style checksum.
 
-func matmultBench() *isa.Image {
+func matmultBench() (*isa.Image, error) {
 	const n = 8
 	var A, B [n * n]uint32
 	x := uint32(7)
@@ -201,12 +204,12 @@ func matmultBench() *isa.Image {
 	a.Bne(isa.S2, isa.T3, "i_loop")
 	endRepeat(a)
 	exitCheck(a, sum)
-	return a.MustAssemble()
+	return a.Assemble()
 }
 
 // --- primecount: sieve of Eratosthenes, count primes below N.
 
-func primeBench() *isa.Image {
+func primeBench() (*isa.Image, error) {
 	const n = 1200
 	sieve := make([]bool, n)
 	count := uint32(0)
@@ -244,12 +247,12 @@ func primeBench() *isa.Image {
 	a.Bne(isa.S2, isa.S3, "i_loop")
 	endRepeat(a)
 	exitCheck(a, count)
-	return a.MustAssemble()
+	return a.Assemble()
 }
 
 // --- fir: integer FIR filter, 16 taps over 200 samples.
 
-func firBench() *isa.Image {
+func firBench() (*isa.Image, error) {
 	const taps = 16
 	const samples = 400
 	coef := make([]uint32, taps)
@@ -303,13 +306,13 @@ func firBench() *isa.Image {
 	a.Bne(isa.S2, isa.T3, "i_loop")
 	endRepeat(a)
 	exitCheck(a, sum)
-	return a.MustAssemble()
+	return a.Assemble()
 }
 
 // --- edn: vector "energy detection" kernel: dot products with shifts
 // and saturation-style clamping.
 
-func ednBench() *isa.Image {
+func ednBench() (*isa.Image, error) {
 	const n = 512
 	va := make([]uint32, n)
 	vb := make([]uint32, n)
@@ -360,13 +363,13 @@ func ednBench() *isa.Image {
 	a.Bne(isa.S2, isa.T6, "loop")
 	endRepeat(a)
 	exitCheck(a, acc)
-	return a.MustAssemble()
+	return a.Assemble()
 }
 
 // --- ud: integer LU-style elimination on a small matrix with exact
 // divisions, checksum of the residue.
 
-func udBench() *isa.Image {
+func udBench() (*isa.Image, error) {
 	const n = 6
 	var m [n][n]int64
 	x := uint32(17)
@@ -457,12 +460,12 @@ func udBench() *isa.Image {
 	a.Bne(isa.S2, isa.T1, "cks")
 	endRepeat(a)
 	exitCheck(a, ref)
-	return a.MustAssemble()
+	return a.Assemble()
 }
 
 // --- huffbench: bit-packing encode loop (variable-length codes).
 
-func huffBench() *isa.Image {
+func huffBench() (*isa.Image, error) {
 	const n = 400
 	syms := make([]uint32, n)
 	x := uint32(0x51ab)
@@ -522,13 +525,13 @@ func huffBench() *isa.Image {
 	a.Add(isa.A0, isa.A0, isa.S3)
 	endRepeat(a)
 	exitCheck(a, want)
-	return a.MustAssemble()
+	return a.Assemble()
 }
 
 // --- statemate: a branchy finite-state machine over a pseudo-random
 // input tape.
 
-func statemateBench() *isa.Image {
+func statemateBench() (*isa.Image, error) {
 	const n = 600
 	tape := make([]uint32, n)
 	x := uint32(0xfeed)
@@ -614,13 +617,13 @@ func statemateBench() *isa.Image {
 	a.Bne(isa.S4, isa.T6, "loop")
 	endRepeat(a)
 	exitCheck(a, visits)
-	return a.MustAssemble()
+	return a.Assemble()
 }
 
 // --- slre: byte-pattern matcher (find occurrences of a short pattern
 // with one wildcard).
 
-func slreBench() *isa.Image {
+func slreBench() (*isa.Image, error) {
 	const n = 800
 	text := make([]byte, n)
 	x := uint32(0x5eed)
@@ -672,7 +675,7 @@ func slreBench() *isa.Image {
 	a.Bne(isa.S2, isa.T6, "i_loop")
 	endRepeat(a)
 	exitCheck(a, matches)
-	return a.MustAssemble()
+	return a.Assemble()
 }
 
 func int64len(b []byte) uint32 { return uint32(len(b)) }
@@ -680,7 +683,7 @@ func int64len(b []byte) uint32 { return uint32(len(b)) }
 // --- tarfind: scan fixed-size records for a name match (header
 // comparisons).
 
-func tarfindBench() *isa.Image {
+func tarfindBench() (*isa.Image, error) {
 	const rec = 16
 	const count = 128
 	data := make([]byte, rec*count)
@@ -739,13 +742,13 @@ func tarfindBench() *isa.Image {
 	a.Bne(isa.S2, isa.T6, "r_loop")
 	endRepeat(a)
 	exitCheck(a, found)
-	return a.MustAssemble()
+	return a.Assemble()
 }
 
 // --- qrduino: GF(2^8) polynomial multiply-accumulate (Reed-Solomon
 // style).
 
-func qrduinoBench() *isa.Image {
+func qrduinoBench() (*isa.Image, error) {
 	const n = 96
 	msg := make([]uint32, n)
 	x := uint32(0x33cc)
@@ -822,5 +825,5 @@ func qrduinoBench() *isa.Image {
 	endRepeat(a)
 	a.Mv(isa.A0, isa.S2)
 	exitCheck(a, acc)
-	return a.MustAssemble()
+	return a.Assemble()
 }

@@ -12,7 +12,10 @@ func TestAllBenchmarksSelfCheck(t *testing.T) {
 	for _, b := range All {
 		b := b
 		t.Run(b.Name, func(t *testing.T) {
-			img := b.Build()
+			img, err := b.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
 			c := cpu.New(memSize)
 			c.Load(img)
 			halt := c.Run(100_000_000)
@@ -32,7 +35,10 @@ func TestAllBenchmarksSelfCheck(t *testing.T) {
 
 func TestFPUBenchmarksUseFPU(t *testing.T) {
 	for _, b := range All {
-		img := b.Build()
+		img, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
 		rec := &cpu.RecordingFPU{}
 		c := cpu.New(memSize)
 		c.FPU = rec
@@ -58,7 +64,11 @@ func TestByName(t *testing.T) {
 
 func TestDeterministicImages(t *testing.T) {
 	for _, b := range All {
-		i1, i2 := b.Build(), b.Build()
+		i1, err1 := b.Build()
+		i2, err2 := b.Build()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s build: %v / %v", b.Name, err1, err2)
+		}
 		if len(i1.Words) != len(i2.Words) {
 			t.Fatalf("%s nondeterministic size", b.Name)
 		}

@@ -63,7 +63,7 @@ func matBank(n int) []mat3 {
 	return bank
 }
 
-func minverBench() *isa.Image {
+func minverBench() (*isa.Image, error) {
 	bank := matBank(16)
 	want := minverRef(bank)
 
@@ -141,13 +141,13 @@ func minverBench() *isa.Image {
 	a.Bne(isa.S7, isa.T6, "iter_loop")
 	a.Mv(isa.A0, isa.S8)
 	exitCheck(a, want)
-	return a.MustAssemble()
+	return a.Assemble()
 }
 
 // --- st: statistics kernel — mean, variance and correlation-style
 // accumulations over a float array.
 
-func stBench() *isa.Image {
+func stBench() (*isa.Image, error) {
 	const n = 256
 	vals := make([]float32, n)
 	x := uint32(0xabcd)
@@ -196,13 +196,13 @@ func stBench() *isa.Image {
 	a.Xor(isa.A0, isa.T1, isa.T2)
 	endRepeat(a)
 	exitCheck(a, want)
-	return a.MustAssemble()
+	return a.Assemble()
 }
 
 // --- nbody: a 2-D three-body gravity kernel, a few explicit Euler
 // steps.
 
-func nbodyBench() *isa.Image {
+func nbodyBench() (*isa.Image, error) {
 	type body struct{ px, py, vx, vy float32 }
 	bodies := []body{
 		{0, 0, 0.1, -0.2},
@@ -338,5 +338,5 @@ func nbodyBench() *isa.Image {
 	a.Li(isa.T6, nb)
 	a.Bne(isa.S3, isa.T6, "cks")
 	exitCheck(a, ref)
-	return a.MustAssemble()
+	return a.Assemble()
 }

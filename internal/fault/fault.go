@@ -169,18 +169,53 @@ func cellOfDFF(b *netlist.Builder, q netlist.NetID) netlist.CellID {
 // the CPU simulation in place of the healthy unit.
 func FailingNetlist(orig *netlist.Netlist, spec Spec) *netlist.Netlist {
 	b := netlist.NewBuilderFrom(orig)
-	x := orig.Cells[spec.Start]
-	y := orig.Cells[spec.End]
-	active, cNet := activation(b, orig, spec, x.Out, x.In[0])
-
-	// Y's D becomes: active ? C : D_orig.
-	faulty := b.AddNamed(cell.MUX2, fmt.Sprintf("fault_mux_%s", y.Name), y.In[0], cNet, active)
-	b.RewireInput(spec.End, 0, faulty)
-
+	instrument(b, orig, spec)
 	for _, p := range orig.Outputs {
 		b.OutputBus(p.Name, p.Bits)
 	}
 	nl := b.MustBuild()
 	nl.Name = orig.Name + "_failing"
 	return nl
+}
+
+// instrument adds one failure site to a builder seeded from orig: Y's D
+// input becomes (active ? C : D_orig).
+func instrument(b *netlist.Builder, orig *netlist.Netlist, spec Spec) {
+	x := orig.Cells[spec.Start]
+	y := orig.Cells[spec.End]
+	active, cNet := activation(b, orig, spec, x.Out, x.In[0])
+	faulty := b.AddNamed(cell.MUX2, fmt.Sprintf("fault_mux_%s", y.Name), y.In[0], cNet, active)
+	b.RewireInput(spec.End, 0, faulty)
+}
+
+// FailingNetlistMulti produces a failing netlist with several
+// independent failure sites active at once — the multi-fault silicon a
+// test suite meets in the field, as opposed to the single-fault models
+// the lifting pipeline targets. Each spec instruments its own capturing
+// flip-flop against the *original* circuit, so the activation conditions
+// are independent; endpoints must therefore be distinct (a second rewire
+// of the same Y would silently drop the first fault's MUX).
+func FailingNetlistMulti(orig *netlist.Netlist, specs ...Spec) (*netlist.Netlist, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("fault: FailingNetlistMulti needs at least one spec")
+	}
+	seen := make(map[netlist.CellID]bool, len(specs))
+	b := netlist.NewBuilderFrom(orig)
+	for _, spec := range specs {
+		if seen[spec.End] {
+			return nil, fmt.Errorf("fault: duplicate endpoint %s in multi-fault spec",
+				orig.Cells[spec.End].Name)
+		}
+		seen[spec.End] = true
+		instrument(b, orig, spec)
+	}
+	for _, p := range orig.Outputs {
+		b.OutputBus(p.Name, p.Bits)
+	}
+	nl, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("fault: multi-fault netlist: %w", err)
+	}
+	nl.Name = orig.Name + "_failing_multi"
+	return nl, nil
 }

@@ -271,3 +271,73 @@ func TestSpecName(t *testing.T) {
 		t.Errorf("Name = %q, want %q", got, want)
 	}
 }
+
+func TestFailingNetlistMultiIndependentSites(t *testing.T) {
+	// Two independent stuck-at sites (C=1 on o[1] via DFF$4->DFF$10 and
+	// C=0 on o[0] via DFF$2->DFF$9): the multi-fault netlist must match
+	// the single-fault netlists on stimuli that exercise only one site,
+	// and must diverge from the healthy circuit.
+	orig := demo.Adder2()
+	s1 := adderSpecSetup(orig, C1, AnyChange)
+	s2 := Spec{
+		Type:  sta.Setup,
+		Start: demo.CellIDByName(orig, "DFF$2"),
+		End:   demo.CellIDByName(orig, "DFF$9"),
+		C:     C0,
+		Edge:  AnyChange,
+	}
+	multi, err := FailingNetlistMulti(orig, s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := FailingNetlist(orig, s1)
+
+	// Toggling only b[1] (site 1's X) must reproduce the single-fault
+	// behaviour of f1 exactly: site 2's X (bq0, fed by b[0]) stays idle.
+	sm, sf := sim.New(multi), sim.New(f1)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		a := uint64(rng.Intn(4))
+		b := uint64(rng.Intn(2)) * 2 // b[0] stays 0
+		sm.SetInput("a", a)
+		sm.SetInput("b", b)
+		sf.SetInput("a", a)
+		sf.SetInput("b", b)
+		if sm.Output("o") != sf.Output("o") {
+			t.Fatalf("cycle %d: multi-fault diverged from single-fault with site 2 idle", i)
+		}
+		sm.Step()
+		sf.Step()
+	}
+
+	// Random stimulus must eventually diverge from the healthy circuit.
+	sm, so := sim.New(multi), sim.New(orig)
+	diverged := false
+	for i := 0; i < 300; i++ {
+		a := uint64(rng.Intn(4))
+		b := uint64(rng.Intn(4))
+		sm.SetInput("a", a)
+		sm.SetInput("b", b)
+		so.SetInput("a", a)
+		so.SetInput("b", b)
+		if sm.Output("o") != so.Output("o") {
+			diverged = true
+		}
+		sm.Step()
+		so.Step()
+	}
+	if !diverged {
+		t.Error("multi-fault netlist never diverged from the healthy circuit")
+	}
+}
+
+func TestFailingNetlistMultiRejectsDuplicateEndpoint(t *testing.T) {
+	orig := demo.Adder2()
+	s := adderSpecSetup(orig, C1, AnyChange)
+	if _, err := FailingNetlistMulti(orig, s, s); err == nil {
+		t.Fatal("duplicate endpoint accepted")
+	}
+	if _, err := FailingNetlistMulti(orig); err == nil {
+		t.Fatal("empty spec list accepted")
+	}
+}

@@ -1,0 +1,140 @@
+package inject
+
+import (
+	"fmt"
+
+	"repro/internal/alu"
+	"repro/internal/cell"
+	"repro/internal/cpu"
+	"repro/internal/fault"
+	"repro/internal/fpu"
+	"repro/internal/module"
+)
+
+// lfsr16 is a 16-bit Fibonacci LFSR (taps 16,14,13,11 — the same
+// polynomial as the fault package's embedded hardware LFSR), stepped
+// once per unit operation to gate intermittent flips.
+type lfsr16 uint16
+
+func (l *lfsr16) step() uint16 {
+	s := uint16(*l)
+	fb := (s>>15 ^ s>>13 ^ s>>12 ^ s>>10) & 1
+	s = s<<1 | fb
+	*l = lfsr16(s)
+	return s
+}
+
+// flipper corrupts result bits of the golden model — the behavioural
+// injector for the Transient and Intermittent classes. It is cheap:
+// only the flip condition is evaluated per op, so these classes run at
+// behavioural speed even inside a full embedded workload.
+type flipper struct {
+	golden func(op, a, b uint32) (result, flags uint32)
+	bit    uint8
+
+	transient bool
+	opIndex   uint32
+	n         uint32
+
+	lfsr   lfsr16
+	period uint32
+}
+
+func (f *flipper) exec(op, a, b uint32) (uint32, uint32, bool) {
+	r, fl := f.golden(op, a, b)
+	if f.transient {
+		if f.n == f.opIndex {
+			r ^= 1 << f.bit
+		}
+		f.n++
+	} else if uint32(f.lfsr.step())%f.period == 0 {
+		r ^= 1 << f.bit
+	}
+	return r, fl, true
+}
+
+type aluFlipper struct{ *flipper }
+
+func (w aluFlipper) ExecALU(op alu.Op, a, b uint32) (uint32, uint32, bool) {
+	return w.exec(uint32(op), a, b)
+}
+
+type fpuFlipper struct{ *flipper }
+
+func (w fpuFlipper) ExecFPU(op fpu.Op, a, b uint32) (uint32, uint32, bool) {
+	return w.exec(uint32(op), a, b)
+}
+
+// Attach builds the spec's faulty execution backend and installs it on
+// the CPU's ALU or FPU seam. Netlist classes replace the unit with a
+// gate-level failing netlist; behavioural classes wrap the golden model
+// with a bit flipper.
+func Attach(m *module.Module, c *cpu.CPU, s Spec) error {
+	if s.Unit != m.Name {
+		return fmt.Errorf("inject: spec targets %s but module is %s", s.Unit, m.Name)
+	}
+	var aluB cpu.ALUBackend
+	var fpuB cpu.FPUBackend
+	switch s.Class {
+	case StuckAt, MultiFault:
+		for _, f := range s.Faults {
+			if err := checkSite(m, f); err != nil {
+				return err
+			}
+		}
+		var nl = m.Netlist
+		if s.Class == StuckAt {
+			nl = fault.FailingNetlist(m.Netlist, s.Faults[0])
+		} else {
+			var err error
+			nl, err = fault.FailingNetlistMulti(m.Netlist, s.Faults...)
+			if err != nil {
+				return err
+			}
+		}
+		if s.Unit == "ALU" {
+			aluB = cpu.NewNetlistALU(m, nl)
+		} else {
+			fpuB = cpu.NewNetlistFPU(m, nl)
+		}
+	case Transient, Intermittent:
+		fl := &flipper{golden: m.Golden, bit: s.Bit}
+		if s.Class == Transient {
+			fl.transient = true
+			fl.opIndex = s.OpIndex
+		} else {
+			fl.lfsr = lfsr16(s.Seed)
+			fl.period = uint32(s.Period)
+		}
+		if s.Unit == "ALU" {
+			aluB = aluFlipper{fl}
+		} else {
+			fpuB = fpuFlipper{fl}
+		}
+	default:
+		return fmt.Errorf("inject: unknown class %v", s.Class)
+	}
+	if aluB != nil {
+		c.ALU = aluB
+	}
+	if fpuB != nil {
+		c.FPU = fpuB
+	}
+	return nil
+}
+
+// checkSite bounds-checks a failure site against the module's netlist:
+// both cells must exist and be flip-flops, or FailingNetlist would
+// instrument garbage (or panic on an out-of-range ID).
+func checkSite(m *module.Module, f fault.Spec) error {
+	nl := m.Netlist
+	for _, id := range []int{int(f.Start), int(f.End)} {
+		if id < 0 || id >= len(nl.Cells) {
+			return fmt.Errorf("inject: cell %d out of range for %s (%d cells)", id, m.Name, len(nl.Cells))
+		}
+		if nl.Cells[id].Kind != cell.DFF {
+			return fmt.Errorf("inject: cell %d (%s) is not a flip-flop", id, nl.Cells[id].Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+package inject
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkCampaign measures a tiny standalone ALU campaign end to end
+// (golden run + 4 classes x 2 injections, sequential) — the CI bench
+// smoke for the injection plane.
+func BenchmarkCampaign(b *testing.B) {
+	cfg, _ := testCampaign(b, 2)
+	cfg.Parallelism = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := Run(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rep.Completed), "injections")
+	}
+}

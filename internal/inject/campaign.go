@@ -1,0 +1,441 @@
+package inject
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/lift"
+	"repro/internal/module"
+	"repro/internal/par"
+)
+
+// Outcome classifies one injection run against the golden execution.
+type Outcome int
+
+// Injection outcomes.
+const (
+	// Detected: the suite trapped (ebreak) — the built-in detection
+	// mechanism caught the fault.
+	Detected Outcome = iota
+	// Masked: the program ran to completion with an architectural state
+	// identical to the golden run; the fault had no effect.
+	Masked
+	// SDCEscape: the program ran to completion but its final state
+	// differs from golden — a silent data corruption the suite missed.
+	SDCEscape
+	// StallCrash: the program hung (handshake stall, cycle-budget
+	// exhaustion) or faulted (bad memory access, undecodable fetch) —
+	// loud failures an OS-level watchdog would catch.
+	StallCrash
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Detected:
+		return "detected"
+	case Masked:
+		return "masked"
+	case SDCEscape:
+		return "sdc-escape"
+	case StallCrash:
+		return "stall-crash"
+	}
+	return fmt.Sprintf("outcome(%d)", int(o))
+}
+
+// classify maps a finished (non-interrupted) halt reason to an outcome.
+// The golden run is known to HaltExit within the same cycle budget, so
+// HaltLimit on the faulty run means the fault made the program hang.
+func classify(halt cpu.HaltReason, digestEqual bool) Outcome {
+	switch halt {
+	case cpu.HaltBreak:
+		return Detected
+	case cpu.HaltExit:
+		if digestEqual {
+			return Masked
+		}
+		return SDCEscape
+	default: // HaltStalled, HaltFault, HaltLimit
+		return StallCrash
+	}
+}
+
+// Config tunes one injection campaign.
+type Config struct {
+	Module *module.Module
+	// Image is the program every injection runs: the standalone lifted
+	// suite, or an embedded application carrying the suite.
+	Image *isa.Image
+	// Mode labels the image ("standalone" or "embedded") in the report
+	// and checkpoint.
+	Mode string
+	// Specs is the injection universe (see SampleUniverse).
+	Specs []Spec
+	// Seed is recorded in the report/checkpoint and validated on resume.
+	Seed uint64
+
+	MemSize int
+	// MaxCycles is the per-injection cycle budget; the golden run must
+	// exit within it.
+	MaxCycles uint64
+	// Parallelism bounds the par.Map fan-out (0 = all CPUs). The report
+	// is byte-identical at every setting.
+	Parallelism int
+
+	// CheckpointPath, when set, persists completed injections after
+	// every wave via an atomic rename, and resumes from the file if it
+	// exists. A resumed campaign produces the identical final report.
+	CheckpointPath string
+	// CheckpointEvery is the wave size between checkpoints (default 64).
+	CheckpointEvery int
+	// OnCheckpoint, when set, observes every checkpoint write with the
+	// number of completed injections — the deterministic interruption
+	// hook the resume tests use.
+	OnCheckpoint func(done int)
+}
+
+func (c *Config) fill() {
+	if c.MemSize == 0 {
+		c.MemSize = 1 << 20
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 50_000_000
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 64
+	}
+	if c.Mode == "" {
+		c.Mode = "standalone"
+	}
+}
+
+// Result is one classified injection.
+type Result struct {
+	Index   int
+	Spec    string
+	Class   string
+	Outcome string
+	Halt    string
+	Cycles  uint64
+	// Case is the suite case that trapped (meaningful when detected in
+	// standalone mode).
+	Case int `json:",omitempty"`
+}
+
+// ClassStats aggregates outcomes per fault class over the completed
+// injections.
+type ClassStats struct {
+	Class      string
+	Total      int
+	Detected   int
+	Masked     int
+	SDCEscape  int
+	StallCrash int
+	// EscapeRate is SDCEscape/Total — the headline robustness metric:
+	// the fraction of this class that silently corrupts state without
+	// the suite (or a watchdog) noticing.
+	EscapeRate float64
+}
+
+// Report is the campaign's outcome. With a deadline or cancellation it
+// may be Partial: Classes then covers only the Completed injections —
+// coverage so far, not the full universe.
+type Report struct {
+	Unit      string
+	Mode      string
+	Seed      uint64
+	MaxCycles uint64
+	Total     int
+	Completed int
+	Partial   bool
+	Classes   []ClassStats
+	Results   []Result
+}
+
+// JSON renders the report deterministically (stable field order, sorted
+// by injection index).
+func (r *Report) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// checkpoint is the persisted campaign state: identity plus every
+// completed result.
+type checkpoint struct {
+	Unit      string
+	Mode      string
+	Seed      uint64
+	MaxCycles uint64
+	Specs     []string
+	Results   []Result
+}
+
+// Run executes the campaign: one golden run, then every injection
+// fanned out via par.Map in checkpointed waves. Cancel or expire ctx to
+// get a graceful partial report instead of an error; injections that
+// were mid-flight resume from the checkpoint on the next Run.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg.fill()
+	if len(cfg.Specs) == 0 {
+		return nil, errors.New("inject: empty injection universe")
+	}
+	for _, s := range cfg.Specs {
+		if s.Unit != cfg.Module.Name {
+			return nil, fmt.Errorf("inject: spec %q does not target module %s", s.String(), cfg.Module.Name)
+		}
+	}
+
+	// Golden run: fault-free behavioural execution of the same image
+	// under the same budget. Its digest is the Masked/SDCEscape oracle.
+	golden := cpu.New(cfg.MemSize)
+	golden.Load(cfg.Image)
+	if halt := golden.Run(cfg.MaxCycles); halt != cpu.HaltExit || golden.ExitCode != 0 {
+		return nil, fmt.Errorf("inject: golden run failed (halt=%v exit=%d)", halt, golden.ExitCode)
+	}
+	goldenDigest := digest(golden)
+
+	results := make([]Result, len(cfg.Specs))
+	done := make([]bool, len(cfg.Specs))
+
+	if cfg.CheckpointPath != "" {
+		cp, err := loadCheckpoint(cfg.CheckpointPath)
+		if err != nil {
+			return nil, err
+		}
+		if cp != nil {
+			if err := validateCheckpoint(cp, &cfg); err != nil {
+				return nil, err
+			}
+			for _, r := range cp.Results {
+				results[r.Index] = r
+				done[r.Index] = true
+			}
+		}
+	}
+
+	var pending []int
+	for i := range cfg.Specs {
+		if !done[i] {
+			pending = append(pending, i)
+		}
+	}
+
+	for len(pending) > 0 && ctx.Err() == nil {
+		wave := pending
+		if len(wave) > cfg.CheckpointEvery {
+			wave = wave[:cfg.CheckpointEvery]
+		}
+		pending = pending[len(wave):]
+
+		type taskOut struct {
+			r  Result
+			ok bool
+		}
+		outs, err := par.Map(ctx, len(wave), cfg.Parallelism, func(ctx context.Context, i int) (taskOut, error) {
+			idx := wave[i]
+			r, ok, err := runOne(ctx, &cfg, idx, goldenDigest)
+			return taskOut{r, ok}, err
+		})
+		for i, o := range outs {
+			if o.ok {
+				results[wave[i]] = o.r
+				done[wave[i]] = true
+			}
+		}
+		if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+		if err := persist(&cfg, results, done); err != nil {
+			return nil, err
+		}
+	}
+
+	rep := buildReport(&cfg, results, done)
+	return rep, nil
+}
+
+// runOne executes one injection. ok=false means the run was interrupted
+// by ctx before finishing — the injection stays pending for resume.
+func runOne(ctx context.Context, cfg *Config, idx int, goldenDigest uint64) (Result, bool, error) {
+	s := cfg.Specs[idx]
+	c := cpu.New(cfg.MemSize)
+	if err := Attach(cfg.Module, c, s); err != nil {
+		return Result{}, false, fmt.Errorf("injection %d (%s): %w", idx, s.String(), err)
+	}
+	c.Load(cfg.Image)
+	halt := c.RunCtx(ctx, cfg.MaxCycles)
+	if halt == cpu.HaltInterrupted {
+		return Result{}, false, nil
+	}
+	eq := halt == cpu.HaltExit && digest(c) == goldenDigest
+	r := Result{
+		Index:   idx,
+		Spec:    s.String(),
+		Class:   s.Class.String(),
+		Outcome: classify(halt, eq).String(),
+		Halt:    halt.String(),
+		Cycles:  c.Cycles,
+	}
+	if halt == cpu.HaltBreak {
+		r.Case = lift.FailedCase(c.X[9])
+	}
+	return r, true, nil
+}
+
+// digest folds the full architectural state (registers, FP state, exit
+// code, memory) into one FNV-1a hash — the golden-comparison oracle.
+func digest(c *cpu.CPU) uint64 {
+	h := fnv.New64a()
+	var w [4]byte
+	word := func(v uint32) {
+		w[0], w[1], w[2], w[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		h.Write(w[:])
+	}
+	word(c.ExitCode)
+	word(c.FFlags)
+	for _, v := range c.X {
+		word(v)
+	}
+	for _, v := range c.F {
+		word(v)
+	}
+	h.Write(c.Mem)
+	return h.Sum64()
+}
+
+func persist(cfg *Config, results []Result, done []bool) error {
+	if cfg.CheckpointPath == "" {
+		if cfg.OnCheckpoint != nil {
+			cfg.OnCheckpoint(countDone(done))
+		}
+		return nil
+	}
+	cp := checkpoint{
+		Unit:      cfg.Module.Name,
+		Mode:      cfg.Mode,
+		Seed:      cfg.Seed,
+		MaxCycles: cfg.MaxCycles,
+	}
+	for _, s := range cfg.Specs {
+		cp.Specs = append(cp.Specs, s.String())
+	}
+	for i, ok := range done {
+		if ok {
+			cp.Results = append(cp.Results, results[i])
+		}
+	}
+	data, err := json.MarshalIndent(&cp, "", "  ")
+	if err != nil {
+		return err
+	}
+	// Atomic replace: a reader (or a resumed campaign after a crash)
+	// sees either the previous checkpoint or the new one, never a torn
+	// write.
+	tmp := cfg.CheckpointPath + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("inject: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, cfg.CheckpointPath); err != nil {
+		return fmt.Errorf("inject: checkpoint: %w", err)
+	}
+	if cfg.OnCheckpoint != nil {
+		cfg.OnCheckpoint(countDone(done))
+	}
+	return nil
+}
+
+func loadCheckpoint(path string) (*checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("inject: checkpoint: %w", err)
+	}
+	var cp checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return nil, fmt.Errorf("inject: checkpoint %s corrupt: %w", path, err)
+	}
+	return &cp, nil
+}
+
+// validateCheckpoint rejects a checkpoint written by a different
+// campaign: resuming it would silently mix incompatible results.
+func validateCheckpoint(cp *checkpoint, cfg *Config) error {
+	if cp.Unit != cfg.Module.Name || cp.Mode != cfg.Mode ||
+		cp.Seed != cfg.Seed || cp.MaxCycles != cfg.MaxCycles || len(cp.Specs) != len(cfg.Specs) {
+		return fmt.Errorf("inject: checkpoint %s belongs to a different campaign "+
+			"(unit=%s mode=%s seed=%d cycles=%d n=%d)",
+			cfg.CheckpointPath, cp.Unit, cp.Mode, cp.Seed, cp.MaxCycles, len(cp.Specs))
+	}
+	for i, s := range cfg.Specs {
+		if cp.Specs[i] != s.String() {
+			return fmt.Errorf("inject: checkpoint %s spec %d mismatch: %q vs %q",
+				cfg.CheckpointPath, i, cp.Specs[i], s.String())
+		}
+	}
+	for _, r := range cp.Results {
+		if r.Index < 0 || r.Index >= len(cfg.Specs) {
+			return fmt.Errorf("inject: checkpoint %s result index %d out of range", cfg.CheckpointPath, r.Index)
+		}
+	}
+	return nil
+}
+
+func countDone(done []bool) int {
+	n := 0
+	for _, d := range done {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+func buildReport(cfg *Config, results []Result, done []bool) *Report {
+	rep := &Report{
+		Unit:      cfg.Module.Name,
+		Mode:      cfg.Mode,
+		Seed:      cfg.Seed,
+		MaxCycles: cfg.MaxCycles,
+		Total:     len(cfg.Specs),
+	}
+	byClass := make(map[string]*ClassStats)
+	var order []string
+	for _, cl := range Classes() {
+		cs := &ClassStats{Class: cl.String()}
+		byClass[cl.String()] = cs
+		order = append(order, cl.String())
+	}
+	for i, r := range results {
+		if !done[i] {
+			continue
+		}
+		rep.Completed++
+		rep.Results = append(rep.Results, r)
+		cs := byClass[r.Class]
+		cs.Total++
+		switch r.Outcome {
+		case Detected.String():
+			cs.Detected++
+		case Masked.String():
+			cs.Masked++
+		case SDCEscape.String():
+			cs.SDCEscape++
+		case StallCrash.String():
+			cs.StallCrash++
+		}
+	}
+	rep.Partial = rep.Completed < rep.Total
+	for _, name := range order {
+		cs := byClass[name]
+		if cs.Total > 0 {
+			cs.EscapeRate = float64(cs.SDCEscape) / float64(cs.Total)
+		}
+		rep.Classes = append(rep.Classes, *cs)
+	}
+	return rep
+}

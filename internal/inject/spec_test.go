@@ -1,0 +1,83 @@
+package inject
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/sta"
+)
+
+func TestSpecCodecRoundTrip(t *testing.T) {
+	specs := []Spec{
+		{Class: StuckAt, Unit: "ALU", Faults: []fault.Spec{
+			{Type: sta.Setup, Start: 12, End: 45, C: fault.C1, Edge: fault.AnyChange}}},
+		{Class: StuckAt, Unit: "FPU", Faults: []fault.Spec{
+			{Type: sta.Hold, Start: 3, End: 9, C: fault.CRandom, Edge: fault.RisingEdge}}},
+		{Class: MultiFault, Unit: "ALU", Faults: []fault.Spec{
+			{Type: sta.Setup, Start: 12, End: 45, C: fault.C0, Edge: fault.AnyChange},
+			{Type: sta.Hold, Start: 3, End: 9, C: fault.CRandom, Edge: fault.FallingEdge}}},
+		{Class: Transient, Unit: "ALU", OpIndex: 37, Bit: 12},
+		{Class: Intermittent, Unit: "FPU", Bit: 5, Seed: 44193, Period: 7},
+	}
+	for _, want := range specs {
+		str := want.String()
+		got, err := ParseSpec(str)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", str, err)
+		}
+		if got.String() != str {
+			t.Errorf("round trip %q -> %q", str, got.String())
+		}
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"stuck",
+		"laser:ALU:s,1,2,0,any",                    // unknown class
+		"stuck:GPU:s,1,2,0,any",                    // unknown unit
+		"stuck:ALU:x,1,2,0,any",                    // unknown check type
+		"stuck:ALU:s,1,2,7,any",                    // unknown C
+		"stuck:ALU:s,1,2,0,sometimes",              // unknown edge
+		"stuck:ALU:s,1,2,0,any;s,3,4,0,any",        // stuck with two sites
+		"multi:ALU:s,1,2,0,any",                    // multi with one site
+		"multi:ALU:s,1,2,0,any;s,3,2,0,any",        // duplicate endpoint
+		"transient:ALU:5",                          // missing bit
+		"transient:ALU:5,40",                       // bit out of range
+		"intermittent:ALU:5,0,7",                   // zero LFSR seed
+		"intermittent:ALU:5,44193,1",               // degenerate period
+		"intermittent:ALU:5,44193,7,9",             // extra field
+		"stuck:ALU:s,99999999999999999999,2,0,any", // overflow
+	}
+	for _, s := range bad {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", s)
+		}
+	}
+}
+
+// FuzzSpecCodec checks that every accepted spec string survives a
+// String/Parse round trip unchanged — the property the checkpoint
+// format depends on.
+func FuzzSpecCodec(f *testing.F) {
+	f.Add("stuck:ALU:s,12,45,1,any")
+	f.Add("multi:FPU:s,12,45,0,any;h,3,9,R,rise")
+	f.Add("transient:ALU:37,12")
+	f.Add("intermittent:ALU:5,44193,7")
+	f.Add("stuck:FPU:h,0,1,R,fall")
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := ParseSpec(in)
+		if err != nil {
+			return
+		}
+		str := s.String()
+		s2, err := ParseSpec(str)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", str, in, err)
+		}
+		if s2.String() != str {
+			t.Fatalf("unstable round trip: %q -> %q", str, s2.String())
+		}
+	})
+}

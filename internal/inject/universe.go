@@ -1,0 +1,103 @@
+package inject
+
+import (
+	"math/rand"
+
+	"repro/internal/fault"
+	"repro/internal/module"
+	"repro/internal/sta"
+)
+
+// SampleUniverse draws nPerClass injection specs per fault class from a
+// seed — the campaign's fault universes. Stuck-at and multi-fault sites
+// are drawn from the module's full DFF-pair space *excluding* the STA
+// violation census (the pairs the lifting pipeline already targets), so
+// the campaign measures what the suite catches beyond its design goal.
+// The draw is fully determined by (module, excluded, nPerClass, seed).
+func SampleUniverse(m *module.Module, excluded []sta.PairSummary, nPerClass int, seed uint64) []Spec {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	dffs := m.Netlist.DFFs()
+	excl := make(map[sta.Pair]bool, len(excluded))
+	for _, p := range excluded {
+		excl[p.Pair] = true
+	}
+
+	samplePair := func(used map[sta.Pair]bool) (sta.Pair, bool) {
+		// Rejection-sample an off-path pair; the DFF-pair space is vastly
+		// larger than any realistic exclusion census, so the bound is
+		// only a safety net against a degenerate netlist.
+		for try := 0; try < 64*len(dffs); try++ {
+			p := sta.Pair{Start: dffs[rng.Intn(len(dffs))], End: dffs[rng.Intn(len(dffs))]}
+			if p.Start == p.End || excl[p] || used[p] {
+				continue
+			}
+			used[p] = true
+			return p, true
+		}
+		return sta.Pair{}, false
+	}
+	randFault := func(used map[sta.Pair]bool) (fault.Spec, bool) {
+		p, ok := samplePair(used)
+		if !ok {
+			return fault.Spec{}, false
+		}
+		ty := sta.Setup
+		if rng.Intn(2) == 1 {
+			ty = sta.Hold
+		}
+		return fault.Spec{
+			Type:  ty,
+			Start: p.Start,
+			End:   p.End,
+			C:     fault.CValue(rng.Intn(3)),
+			Edge:  fault.AnyChange,
+		}, true
+	}
+
+	var specs []Spec
+	used := make(map[sta.Pair]bool)
+	for i := 0; i < nPerClass; i++ {
+		if f, ok := randFault(used); ok {
+			specs = append(specs, Spec{Class: StuckAt, Unit: m.Name, Faults: []fault.Spec{f}})
+		}
+	}
+	for i := 0; i < nPerClass; i++ {
+		specs = append(specs, Spec{
+			Class:   Transient,
+			Unit:    m.Name,
+			OpIndex: uint32(rng.Intn(64)),
+			Bit:     uint8(rng.Intn(32)),
+		})
+	}
+	for i := 0; i < nPerClass; i++ {
+		specs = append(specs, Spec{
+			Class:  Intermittent,
+			Unit:   m.Name,
+			Bit:    uint8(rng.Intn(32)),
+			Seed:   uint16(1 + rng.Intn(0xFFFF)),
+			Period: uint16(2 + rng.Intn(31)),
+		})
+	}
+	for i := 0; i < nPerClass; i++ {
+		// Two independent sites; distinct endpoints are guaranteed by
+		// the shared dedup map (a pair is never drawn twice) plus a
+		// local endpoint check.
+		f1, ok1 := randFault(used)
+		if !ok1 {
+			break
+		}
+		var f2 fault.Spec
+		ok2 := false
+		for try := 0; try < 16 && !ok2; try++ {
+			f2, ok2 = randFault(used)
+			if ok2 && f2.End == f1.End {
+				ok2 = false
+			}
+		}
+		if !ok2 {
+			break
+		}
+		specs = append(specs, Spec{Class: MultiFault, Unit: m.Name, Faults: []fault.Spec{f1, f2}})
+	}
+	return specs
+}

@@ -8,11 +8,30 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/embench"
 	"repro/internal/fpu"
+	"repro/internal/isa"
 	"repro/internal/lift"
 	"repro/internal/profile"
 )
 
 const memSize = 1 << 20
+
+func mustBuild(t testing.TB, b embench.Benchmark) *isa.Image {
+	t.Helper()
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func mustInsts(t testing.TB, s *lift.Suite) int {
+	t.Helper()
+	n, err := s.InstCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
 
 // smallSuite builds a deterministic random suite (behavioural-golden,
 // so it passes on a healthy CPU) for integration tests.
@@ -26,7 +45,7 @@ func fpuSuite(n int) *lift.Suite {
 
 func TestProfileCollect(t *testing.T) {
 	b, _ := embench.ByName("crc32")
-	img := b.Build()
+	img := mustBuild(t, b)
 	p := profile.Collect(img, memSize, 100_000_000)
 	if p == nil {
 		t.Fatal("profiling run failed")
@@ -54,10 +73,10 @@ func TestProfileCollect(t *testing.T) {
 
 func TestChooseSiteWithinBudget(t *testing.T) {
 	b, _ := embench.ByName("crc32")
-	img := b.Build()
+	img := mustBuild(t, b)
 	p := profile.Collect(img, memSize, 100_000_000)
 	suite := smallSuite(4)
-	site, err := ChooseSite(p, suite.InstCount(), 0.01)
+	site, err := ChooseSite(p, mustInsts(t, suite), 0.01)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,11 +90,11 @@ func TestChooseSiteWithinBudget(t *testing.T) {
 
 func TestChooseSiteThrottles(t *testing.T) {
 	b, _ := embench.ByName("fir")
-	img := b.Build()
+	img := mustBuild(t, b)
 	p := profile.Collect(img, memSize, 100_000_000)
 	// A huge suite forces throttling everywhere.
 	suite := smallSuite(60)
-	site, err := ChooseSite(p, suite.InstCount(), 0.001)
+	site, err := ChooseSite(p, mustInsts(t, suite), 0.001)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,12 +109,12 @@ func TestChooseSiteThrottles(t *testing.T) {
 func TestEmbedPreservesBehaviour(t *testing.T) {
 	suite := smallSuite(4)
 	for _, b := range embench.All {
-		img := b.Build()
+		img := mustBuild(t, b)
 		p := profile.Collect(img, memSize, 200_000_000)
 		if p == nil {
 			t.Fatalf("%s profiling failed", b.Name)
 		}
-		site, err := ChooseSite(p, suite.InstCount(), 0.01)
+		site, err := ChooseSite(p, mustInsts(t, suite), 0.01)
 		if err != nil {
 			t.Fatalf("%s: %v", b.Name, err)
 		}
@@ -118,9 +137,9 @@ func TestEmbedFPUSuitePreservesFPState(t *testing.T) {
 	suite := fpuSuite(4)
 	for _, name := range []string{"minver", "st", "nbody"} {
 		b, _ := embench.ByName(name)
-		img := b.Build()
+		img := mustBuild(t, b)
 		p := profile.Collect(img, memSize, 200_000_000)
-		site, err := ChooseSite(p, suite.InstCount(), 0.05)
+		site, err := ChooseSite(p, mustInsts(t, suite), 0.05)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -141,7 +160,7 @@ func TestMeasureOverheadWithinBudget(t *testing.T) {
 	suite := smallSuite(4)
 	for _, name := range []string{"crc32", "primecount", "statemate"} {
 		b, _ := embench.ByName(name)
-		o, err := MeasureOverhead(name, b.Build(), suite, 0.01, memSize, 400_000_000)
+		o, err := MeasureOverhead(name, mustBuild(t, b), suite, 0.01, memSize, 400_000_000)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -162,9 +181,9 @@ func TestEmbeddedSuiteActuallyRuns(t *testing.T) {
 	suite := smallSuite(2)
 	suite.Cases[0].Expected[0].Result ^= 1
 	b, _ := embench.ByName("crc32")
-	img := b.Build()
+	img := mustBuild(t, b)
 	p := profile.Collect(img, memSize, 100_000_000)
-	site, err := ChooseSite(p, suite.InstCount(), 0.01)
+	site, err := ChooseSite(p, mustInsts(t, suite), 0.01)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -29,7 +29,11 @@ func MeasureOverhead(name string, app *isa.Image, suite *lift.Suite, budget floa
 	if prof == nil {
 		return nil, fmt.Errorf("integrate: %s did not exit cleanly during profiling", name)
 	}
-	site, err := ChooseSite(prof, suite.InstCount(), budget)
+	insts, err := suite.InstCount()
+	if err != nil {
+		return nil, fmt.Errorf("integrate: %s: %w", name, err)
+	}
+	site, err := ChooseSite(prof, insts, budget)
 	if err != nil {
 		return nil, fmt.Errorf("integrate: %s: %w", name, err)
 	}

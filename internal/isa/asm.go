@@ -356,16 +356,6 @@ func (a *Asm) Assemble() (*Image, error) {
 	return img, nil
 }
 
-// MustAssemble is Assemble but panics on error (for programs constructed
-// entirely by this repository).
-func (a *Asm) MustAssemble() *Image {
-	img, err := a.Assemble()
-	if err != nil {
-		panic(err)
-	}
-	return img
-}
-
 // Disassemble renders the image as an address-annotated listing.
 func (img *Image) Disassemble() string {
 	var b strings.Builder

@@ -124,6 +124,15 @@ func TestOutOfRangeImmediatesRejected(t *testing.T) {
 	}
 }
 
+func mustAsm(t testing.TB, a *Asm) *Image {
+	t.Helper()
+	img, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
 func TestAssembleLabels(t *testing.T) {
 	a := NewAsm()
 	a.Li(T0, 0)
@@ -132,7 +141,7 @@ func TestAssembleLabels(t *testing.T) {
 	a.Li(T1, 10)
 	a.Bne(T0, T1, "loop")
 	a.Ecall()
-	img := a.MustAssemble()
+	img := mustAsm(t, a)
 	if len(img.Words) != 5 {
 		t.Fatalf("got %d words", len(img.Words))
 	}
@@ -151,7 +160,7 @@ func TestAssembleDataAndLa(t *testing.T) {
 	a.La(T0, "tbl")
 	a.Lw(T1, 4, T0)
 	a.Ecall()
-	img := a.MustAssemble()
+	img := mustAsm(t, a)
 	addr := img.Labels["tbl"]
 	if addr != DefaultDataBase {
 		t.Errorf("tbl at %#x", addr)
@@ -173,7 +182,7 @@ func TestLiVariants(t *testing.T) {
 		a := NewAsm()
 		a.Li(T0, v)
 		a.Ecall()
-		img := a.MustAssemble()
+		img := mustAsm(t, a)
 		// Emulate the 1-2 instruction sequence.
 		var x uint32
 		for _, inst := range img.Insts {
@@ -214,7 +223,7 @@ func TestDisassemble(t *testing.T) {
 	a.Addi(T0, T0, -1)
 	a.Bnez(T0, "loop")
 	a.Ecall()
-	img := a.MustAssemble()
+	img := mustAsm(t, a)
 	out := img.Disassemble()
 	for _, want := range []string{"loop:", "addi t0, t0, -1", "ecall", "001000:"} {
 		if !strings.Contains(out, want) {

@@ -179,13 +179,19 @@ type Suite struct {
 
 // Image assembles the suite into a standalone program: cases run in
 // order; a detection traps via ebreak with the case index in s1; clean
-// completion exits 0.
-func (s *Suite) Image() *isa.Image {
+// completion exits 0. Assembly errors are returned so a malformed
+// (e.g. campaign-generated or deserialized) suite fails its one run
+// rather than panicking the process.
+func (s *Suite) Image() (*isa.Image, error) {
 	a := isa.NewAsm()
 	s.emitCases(a, "")
 	a.Li(isa.A0, 0)
 	a.Ecall()
-	return a.MustAssemble()
+	img, err := a.Assemble()
+	if err != nil {
+		return nil, fmt.Errorf("lift: suite %s: %w", s.Unit, err)
+	}
+	return img, nil
 }
 
 // EmitInto appends the whole suite (without the harness) to an existing
@@ -217,9 +223,12 @@ func (s *Suite) emitCases(a *isa.Asm, failLabel string) {
 }
 
 // InstCount reports the number of instructions the suite expands to.
-func (s *Suite) InstCount() int {
-	img := s.Image()
-	return len(img.Insts)
+func (s *Suite) InstCount() (int, error) {
+	img, err := s.Image()
+	if err != nil {
+		return 0, err
+	}
+	return len(img.Insts), nil
 }
 
 // RandomSuite builds the paper's Table 7 baseline: test cases in the

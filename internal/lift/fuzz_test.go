@@ -48,7 +48,7 @@ func TestFuzzSuiteDetects(t *testing.T) {
 	if len(s.Cases) == 0 {
 		t.Fatal("no fuzz cases")
 	}
-	img := s.Image()
+	img := mustImage(t, s)
 
 	// Clean on healthy hardware.
 	c := cpu.New(memSize)

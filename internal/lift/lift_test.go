@@ -17,6 +17,15 @@ import (
 
 const memSize = 1 << 20
 
+func mustImage(t testing.TB, s *Suite) *isa.Image {
+	t.Helper()
+	img, err := s.Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
 // agedALUPairs runs the aging analysis once and returns the violating
 // pairs of the ALU.
 func agedALUPairs(t *testing.T) (*module.Module, []sta.PairSummary) {
@@ -111,7 +120,7 @@ func buildALUSuite(t *testing.T, m *module.Module, pairs []sta.PairSummary, miti
 func TestSuitePassesOnHealthyCPU(t *testing.T) {
 	m, pairs := agedALUPairs(t)
 	suite, _ := buildALUSuite(t, m, pairs, false)
-	img := suite.Image()
+	img := mustImage(t, suite)
 
 	// Behavioural CPU.
 	c := cpu.New(memSize)
@@ -127,8 +136,12 @@ func TestSuitePassesOnHealthyCPU(t *testing.T) {
 	if got := c2.Run(50_000_000); got != cpu.HaltExit || c2.ExitCode != 0 {
 		t.Fatalf("netlist run: halt=%v exit=%d case=%d", got, c2.ExitCode, c2.X[caseReg])
 	}
+	insts, err := suite.InstCount()
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Logf("suite: %d cases, %d instructions, %d cycles",
-		len(suite.Cases), suite.InstCount(), c.Cycles)
+		len(suite.Cases), insts, c.Cycles)
 }
 
 func TestSuiteDetectsInjectedFaults(t *testing.T) {
@@ -137,7 +150,7 @@ func TestSuiteDetectsInjectedFaults(t *testing.T) {
 	// suite detects it (by trap or stall).
 	m, pairs := agedALUPairs(t)
 	suite, results := buildALUSuite(t, m, pairs, false)
-	img := suite.Image()
+	img := mustImage(t, suite)
 	detected, total := 0, 0
 	for _, r := range results {
 		if r.Outcome != Success {
@@ -167,7 +180,7 @@ func TestSuiteDetectsInjectedFaults(t *testing.T) {
 func TestRandomSuiteCleanOnHealthy(t *testing.T) {
 	m := alu.Build()
 	s := RandomSuite(m, 10, 99)
-	img := s.Image()
+	img := mustImage(t, s)
 	c := cpu.New(memSize)
 	c.ALU = cpu.NewNetlistALU(m, m.Netlist)
 	c.Load(img)
@@ -179,7 +192,7 @@ func TestRandomSuiteCleanOnHealthy(t *testing.T) {
 func TestRandomSuiteFPUCleanOnHealthy(t *testing.T) {
 	m := fpu.Build()
 	s := RandomSuite(m, 6, 100)
-	img := s.Image()
+	img := mustImage(t, s)
 	c := cpu.New(memSize)
 	c.FPU = cpu.NewNetlistFPU(m, m.Netlist)
 	c.Load(img)

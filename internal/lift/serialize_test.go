@@ -41,7 +41,7 @@ func TestSuiteJSONRoundTrip(t *testing.T) {
 
 	// The deserialized suite must run: identical image, clean pass on
 	// the healthy gate-level CPU.
-	imgA, imgB := orig.Image(), back.Image()
+	imgA, imgB := mustImage(t, orig), mustImage(t, &back)
 	if len(imgA.Words) != len(imgB.Words) {
 		t.Fatalf("image sizes differ: %d vs %d", len(imgA.Words), len(imgB.Words))
 	}

@@ -6,6 +6,15 @@ import (
 	"repro/internal/isa"
 )
 
+func mustAsm(t testing.TB, a *isa.Asm) *isa.Image {
+	t.Helper()
+	img, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
 func TestLeadersAndStatic(t *testing.T) {
 	a := isa.NewAsm()
 	a.Li(isa.T0, 3) // 1 inst (small imm)
@@ -14,7 +23,7 @@ func TestLeadersAndStatic(t *testing.T) {
 	a.Bnez(isa.T0, "loop")
 	a.Li(isa.A0, 0)
 	a.Ecall()
-	img := a.MustAssemble()
+	img := mustAsm(t, a)
 	leaders := Leaders(img)
 	// Leaders: entry (0), loop target (1), after-branch (3).
 	want := []int{0, 1, 3}
@@ -43,7 +52,7 @@ func TestCollectCounts(t *testing.T) {
 	a.Bnez(isa.T0, "loop")
 	a.Li(isa.A0, 0)
 	a.Ecall()
-	img := a.MustAssemble()
+	img := mustAsm(t, a)
 	p := Collect(img, 1<<20, 1_000_000)
 	if p == nil {
 		t.Fatal("collect failed")
@@ -65,7 +74,7 @@ func TestCollectCounts(t *testing.T) {
 func TestCollectFailure(t *testing.T) {
 	a := isa.NewAsm()
 	a.Ebreak()
-	img := a.MustAssemble()
+	img := mustAsm(t, a)
 	if Collect(img, 1<<20, 1000) != nil {
 		t.Error("non-exiting program must yield nil profile")
 	}

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/inject"
 )
 
 // Table renders rows of cells with a header, padding columns to fit.
@@ -103,3 +104,21 @@ func abs(v float64) float64 {
 
 // Pct formats a percentage cell.
 func Pct(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// EscapeTable renders an injection campaign's per-class outcome counts
+// and escape rates (internal/inject).
+func EscapeTable(r *inject.Report) string {
+	var rows [][]string
+	for _, c := range r.Classes {
+		rows = append(rows, []string{
+			c.Class,
+			fmt.Sprint(c.Total),
+			fmt.Sprint(c.Detected),
+			fmt.Sprint(c.Masked),
+			fmt.Sprint(c.SDCEscape),
+			fmt.Sprint(c.StallCrash),
+			Pct(c.EscapeRate * 100),
+		})
+	}
+	return Table([]string{"Class", "N", "Det.", "Masked", "SDC", "Stall", "Escape%"}, rows)
+}

@@ -37,7 +37,11 @@ func TestALUWorkflowEndToEnd(t *testing.T) {
 	if cycles == 0 || cycles > 5000 {
 		t.Errorf("suite cycles = %d, expected a compact suite", cycles)
 	}
-	for _, q := range w.TestQuality(suite) {
+	qrows, err := w.TestQuality(suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qrows {
 		if q.Pct(q.Detected) < 75 {
 			t.Errorf("FM=%v detection %.1f%%, expected most faults caught", q.FM, q.Pct(q.Detected))
 		}
@@ -68,7 +72,10 @@ func TestFPUWorkflowEndToEnd(t *testing.T) {
 	if len(suite.Cases) < 10 {
 		t.Fatalf("FPU suite suspiciously small: %d cases", len(suite.Cases))
 	}
-	rows := w.TestQuality(suite)
+	rows, err := w.TestQuality(suite)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, q := range rows {
 		if q.Pct(q.Detected) < 80 {
 			t.Errorf("FM=%v detection %.1f%%", q.FM, q.Pct(q.Detected))
@@ -93,8 +100,14 @@ func TestMitigationImprovesRobustness(t *testing.T) {
 		t.Errorf("mitigation should generate more cases: %d vs %d",
 			len(sMit.Cases), len(sPlain.Cases))
 	}
-	qPlain := plain.TestQuality(sPlain)
-	qMit := mit.TestQuality(sMit)
+	qPlain, err := plain.TestQuality(sPlain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qMit, err := mit.TestQuality(sMit)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range qPlain {
 		if qMit[i].Pct(qMit[i].Detected) < qPlain[i].Pct(qPlain[i].Detected) {
 			t.Errorf("FM=%v: mitigation regressed detection (%.1f%% -> %.1f%%)",
