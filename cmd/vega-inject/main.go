@@ -2,16 +2,20 @@
 // suite, samples fault universes the pipeline did NOT target (off-path
 // stuck-at, transient flips, intermittent flips, multi-fault silicon),
 // runs every injection under the suite, and prints the escape-rate
-// table per fault class. Campaigns can be deadline-bounded (-deadline)
-// and checkpointed (-checkpoint): an interrupted run resumes to the
-// identical final report.
+// table per fault class. Injections are classified by packed concurrent
+// fault simulation — 63 faults share one compiled gate-level wave and
+// diverging lanes retire to per-fault continuations — with `-scalar`
+// forcing the one-replay-per-injection baseline and `-stats` printing
+// the wave occupancy and retirement accounting. Campaigns can be
+// deadline-bounded (-deadline) and checkpointed (-checkpoint): an
+// interrupted run resumes to the identical final report.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"time"
 
@@ -21,19 +25,31 @@ import (
 )
 
 func main() {
-	unit := flag.String("unit", "ALU", "unit to inject (ALU or FPU)")
-	seed := flag.Uint64("seed", 1, "fault-universe sampling seed")
-	perClass := flag.Int("n", 25, "injections per fault class")
-	mode := flag.String("mode", "standalone", "program under injection: standalone (suite image) or embedded (workload carrying the suite)")
-	workload := flag.String("workload", "crc32", "embedded-mode benchmark")
-	budget := flag.Float64("budget", 0.01, "embedded-mode integration overhead budget")
-	maxCycles := flag.Uint64("max-cycles", 0, "per-injection cycle budget (0 = engine default)")
-	deadline := flag.Duration("deadline", 0, "overall wall-clock deadline (0 = none); an expired campaign reports coverage so far")
-	checkpoint := flag.String("checkpoint", "", "checkpoint file for resume (atomic JSON)")
-	jsonOut := flag.String("json", "", "write the full report JSON to this file")
-	years := flag.Float64("years", 10, "assumed lifetime in years")
-	jobs := flag.Int("j", 0, "worker parallelism (0 = all CPUs, 1 = sequential)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vega-inject:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("vega-inject", flag.ContinueOnError)
+	unit := fs.String("unit", "ALU", "unit to inject (ALU or FPU)")
+	seed := fs.Uint64("seed", 1, "fault-universe sampling seed")
+	perClass := fs.Int("n", 25, "injections per fault class")
+	mode := fs.String("mode", "standalone", "program under injection: standalone (suite image) or embedded (workload carrying the suite)")
+	workload := fs.String("workload", "crc32", "embedded-mode benchmark")
+	budget := fs.Float64("budget", 0.01, "embedded-mode integration overhead budget")
+	maxCycles := fs.Uint64("max-cycles", 0, "per-injection cycle budget (0 = engine default)")
+	deadline := fs.Duration("deadline", 0, "overall wall-clock deadline (0 = none); an expired campaign reports coverage so far")
+	checkpoint := fs.String("checkpoint", "", "checkpoint file for resume (atomic JSON)")
+	jsonOut := fs.String("json", "", "write the full report JSON to this file")
+	years := fs.Float64("years", 10, "assumed lifetime in years")
+	jobs := fs.Int("j", 0, "worker parallelism (0 = all CPUs, 1 = sequential)")
+	scalar := fs.Bool("scalar", false, "force the scalar one-replay-per-injection baseline (no packed waves)")
+	stats := fs.Bool("stats", false, "print packed-simulation accounting (wave occupancy, retired lanes, replay savings)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var mk func(core.Config) *core.Workflow
 	switch *unit {
@@ -42,14 +58,14 @@ func main() {
 	case "FPU":
 		mk = core.NewFPU
 	default:
-		log.Fatalf("unknown unit %q", *unit)
+		return fmt.Errorf("unknown unit %q", *unit)
 	}
 	w := mk(core.Config{Years: *years, Parallelism: *jobs})
-	fmt.Printf("lifting %s ...\n", w.Describe())
+	fmt.Fprintf(out, "lifting %s ...\n", w.Describe())
 	if _, err := w.ErrorLifting(); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("suite: %d cases; sampling %d injections per class (seed %d, mode %s)\n",
+	fmt.Fprintf(out, "suite: %d cases; sampling %d injections per class (seed %d, mode %s)\n",
 		len(w.Suite().Cases), *perClass, *seed, *mode)
 
 	ctx := context.Background()
@@ -59,7 +75,7 @@ func main() {
 		defer cancel()
 	}
 	start := time.Now()
-	rep, err := w.InjectionCampaign(ctx, core.InjectOptions{
+	rep, ps, err := w.InjectionCampaignStats(ctx, core.InjectOptions{
 		Seed:           *seed,
 		PerClass:       *perClass,
 		Mode:           *mode,
@@ -67,19 +83,31 @@ func main() {
 		Budget:         *budget,
 		MaxCycles:      *maxCycles,
 		CheckpointPath: *checkpoint,
+		Scalar:         *scalar,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("campaign: %d/%d injections classified in %s", rep.Completed, rep.Total,
+	fmt.Fprintf(out, "campaign: %d/%d injections classified in %s", rep.Completed, rep.Total,
 		time.Since(start).Round(time.Millisecond))
 	if rep.Partial {
-		fmt.Printf(" (PARTIAL — deadline hit; coverage so far, resume with -checkpoint)")
+		fmt.Fprintf(out, " (PARTIAL — deadline hit; coverage so far, resume with -checkpoint)")
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 
-	fmt.Printf("\nEscape rates per fault class (%s, %s mode):\n", rep.Unit, rep.Mode)
-	fmt.Print(report.EscapeTable(rep))
+	fmt.Fprintf(out, "\nEscape rates per fault class (%s, %s mode):\n", rep.Unit, rep.Mode)
+	fmt.Fprint(out, report.EscapeTable(rep))
+
+	if *stats {
+		if ps == nil {
+			fmt.Fprintf(out, "\npacked stats: unavailable (scalar baseline path)\n")
+		} else {
+			fmt.Fprintf(out, "\nPacked simulation accounting (golden run: %d unit ops):\n", ps.GoldenOps)
+			fmt.Fprint(out, report.PackedStatsTable(ps))
+			fmt.Fprintf(out, "retired-lane savings: %.1f%% of per-lane unit-op work avoided by wave sharing and early retirement\n",
+				100*ps.TotalSavings())
+		}
+	}
 
 	escaped := 0
 	for _, r := range rep.Results {
@@ -88,10 +116,10 @@ func main() {
 		}
 	}
 	if escaped > 0 {
-		fmt.Printf("\n%d silent escapes:\n", escaped)
+		fmt.Fprintf(out, "\n%d silent escapes:\n", escaped)
 		for _, r := range rep.Results {
 			if r.Outcome == inject.SDCEscape.String() {
-				fmt.Printf("  %s (%d cycles)\n", r.Spec, r.Cycles)
+				fmt.Fprintf(out, "  %s (%d cycles)\n", r.Spec, r.Cycles)
 			}
 		}
 	}
@@ -101,16 +129,17 @@ func main() {
 			detectedCases++
 		}
 	}
-	fmt.Printf("\ntotals: detected %d, escapes %d of %d completed\n", detectedCases, escaped, rep.Completed)
+	fmt.Fprintf(out, "\ntotals: detected %d, escapes %d of %d completed\n", detectedCases, escaped, rep.Completed)
 
 	if *jsonOut != "" {
 		data, err := rep.JSON()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("report written to %s\n", *jsonOut)
+		fmt.Fprintf(out, "report written to %s\n", *jsonOut)
 	}
+	return nil
 }

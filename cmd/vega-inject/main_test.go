@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSmokeStats drives the CLI end to end on a tiny ALU campaign
+// with -stats: the escape table, the packed-simulation accounting, and
+// the totals line must all appear in the output.
+func TestRunSmokeStats(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-unit", "ALU", "-n", "2", "-seed", "3", "-j", "1", "-stats"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"campaign: 8/8 injections classified",
+		"Escape rates per fault class",
+		"95% CI",
+		"Packed simulation accounting",
+		"Occup.",
+		"retired-lane savings:",
+		"totals: detected",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunScalarStats pins the -scalar/-stats interaction: the baseline
+// path has no packed accounting to print and must say so rather than
+// fabricate a table.
+func TestRunScalarStats(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-unit", "ALU", "-n", "1", "-seed", "3", "-j", "1", "-scalar", "-stats"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "packed stats: unavailable (scalar baseline path)") {
+		t.Errorf("scalar -stats output missing unavailability notice:\n%s", out.String())
+	}
+}
+
+// TestRunBadUnit pins the error path: an unknown unit is an error, not
+// an os.Exit, so the CLI surface stays testable.
+func TestRunBadUnit(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-unit", "VPU"}, &out); err == nil {
+		t.Fatal("expected error for unknown unit")
+	}
+}

@@ -34,6 +34,9 @@ type InjectOptions struct {
 	CheckpointPath string
 	// CheckpointEvery overrides the wave size between checkpoints.
 	CheckpointEvery int
+	// Scalar forces the one-replay-per-injection baseline path instead
+	// of packed concurrent fault simulation (differential debugging).
+	Scalar bool
 }
 
 // InjectionCampaign stress-tests the lifted suite against fault
@@ -43,9 +46,17 @@ type InjectOptions struct {
 // injection against a golden run. Cancel or expire ctx for a graceful
 // partial report.
 func (w *Workflow) InjectionCampaign(ctx context.Context, opts InjectOptions) (*inject.Report, error) {
+	rep, _, err := w.InjectionCampaignStats(ctx, opts)
+	return rep, err
+}
+
+// InjectionCampaignStats is InjectionCampaign plus the packed
+// simulation accounting (wave occupancy, lane retirement, replay
+// savings). Stats are nil when opts.Scalar forces the baseline path.
+func (w *Workflow) InjectionCampaignStats(ctx context.Context, opts InjectOptions) (*inject.Report, *inject.PackedStats, error) {
 	if w.Results == nil {
 		if _, err := w.ErrorLifting(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	if opts.PerClass == 0 {
@@ -62,7 +73,7 @@ func (w *Workflow) InjectionCampaign(ctx context.Context, opts InjectOptions) (*
 		var err error
 		img, err = suite.Image()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	case "embedded":
 		if opts.Workload == "" {
@@ -73,35 +84,35 @@ func (w *Workflow) InjectionCampaign(ctx context.Context, opts InjectOptions) (*
 		}
 		b, ok := embench.ByName(opts.Workload)
 		if !ok {
-			return nil, fmt.Errorf("core: unknown workload %q", opts.Workload)
+			return nil, nil, fmt.Errorf("core: unknown workload %q", opts.Workload)
 		}
 		app, err := b.Build()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		prof := profile.Collect(app, MemSize, MaxCycles)
 		if prof == nil {
-			return nil, fmt.Errorf("core: %s did not exit cleanly during profiling", opts.Workload)
+			return nil, nil, fmt.Errorf("core: %s did not exit cleanly during profiling", opts.Workload)
 		}
 		insts, err := suite.InstCount()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		site, err := integrate.ChooseSite(prof, insts, opts.Budget)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		emb, err := integrate.Embed(app, suite, site)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		img = emb.Image
 	default:
-		return nil, fmt.Errorf("core: unknown injection mode %q", opts.Mode)
+		return nil, nil, fmt.Errorf("core: unknown injection mode %q", opts.Mode)
 	}
 
 	specs := inject.SampleUniverse(w.Module, w.STA.Pairs, opts.PerClass, opts.Seed)
-	return inject.Run(ctx, inject.Config{
+	return inject.RunWithStats(ctx, inject.Config{
 		Module:          w.Module,
 		Image:           img,
 		Mode:            opts.Mode,
@@ -112,5 +123,6 @@ func (w *Workflow) InjectionCampaign(ctx context.Context, opts InjectOptions) (*
 		Parallelism:     w.Config.Parallelism,
 		CheckpointPath:  opts.CheckpointPath,
 		CheckpointEvery: opts.CheckpointEvery,
+		Scalar:          opts.Scalar,
 	})
 }

@@ -121,10 +121,14 @@ func (e *Packed) SetInput(name string, words []uint64) {
 
 // Settle propagates all 64 lanes through the combinational logic (and
 // the clock network) in program order.
-func (e *Packed) Settle() {
-	vals := e.vals
-	ops := e.prog.Ops
-	for _, r := range e.prog.Runs {
+func (e *Packed) Settle() { settlePacked(e.prog, e.vals) }
+
+// settlePacked is the shared 64-lane combinational evaluation loop,
+// used by both the uniform Packed evaluator and the fault-overlay
+// FaultedPacked evaluator.
+func settlePacked(p *Program, vals []uint64) {
+	ops := p.Ops
+	for _, r := range p.Runs {
 		run := ops[r.Lo:r.Hi]
 		switch r.Kind {
 		case cell.TIE0:

@@ -2,13 +2,14 @@ package inject
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"os"
 
 	"repro/internal/cpu"
+	"repro/internal/engine"
 	"repro/internal/isa"
 	"repro/internal/lift"
 	"repro/internal/module"
@@ -98,6 +99,12 @@ type Config struct {
 	// number of completed injections — the deterministic interruption
 	// hook the resume tests use.
 	OnCheckpoint func(done int)
+
+	// Scalar forces the one-replay-per-injection baseline path instead of
+	// the packed concurrent fault simulation. The report is byte-identical
+	// either way (TestPackedMatchesScalar); the scalar path exists as the
+	// differential oracle and for debugging.
+	Scalar bool
 }
 
 func (c *Config) fill() {
@@ -123,6 +130,16 @@ type Result struct {
 	Outcome string
 	Halt    string
 	Cycles  uint64
+	// Digest is the final architectural-state hash (equal to the golden
+	// digest exactly for masked runs). Zero only in results resumed from
+	// a pre-versioning checkpoint.
+	Digest uint64 `json:",omitempty"`
+	// DivergedAt is 1 + the CPU cycle count at the first unit operation
+	// whose response (result, flags, ok) differed from the golden model;
+	// 0 if no response ever diverged. Timing-only netlist divergences
+	// that produce the correct value do not count — they are
+	// architecturally invisible.
+	DivergedAt uint64 `json:",omitempty"`
 	// Case is the suite case that trapped (meaningful when detected in
 	// standalone mode).
 	Case int `json:",omitempty"`
@@ -162,9 +179,17 @@ type Report struct {
 // by injection index).
 func (r *Report) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
 
+// checkpointVersion is the current checkpoint schema version. Version 1
+// added the Version field itself plus the per-result Digest/DivergedAt
+// fields; files without a Version (the pre-packed-path schema, version
+// 0) are still accepted — their results carry zero Digest/DivergedAt —
+// while files from a NEWER schema are rejected as stale tooling.
+const checkpointVersion = 1
+
 // checkpoint is the persisted campaign state: identity plus every
 // completed result.
 type checkpoint struct {
+	Version   int
 	Unit      string
 	Mode      string
 	Seed      uint64
@@ -174,28 +199,39 @@ type checkpoint struct {
 }
 
 // Run executes the campaign: one golden run, then every injection
-// fanned out via par.Map in checkpointed waves. Cancel or expire ctx to
-// get a graceful partial report instead of an error; injections that
-// were mid-flight resume from the checkpoint on the next Run.
+// classified — by packed concurrent fault simulation by default, or by
+// one scalar replay per injection with cfg.Scalar — in checkpointed
+// batches. Cancel or expire ctx to get a graceful partial report
+// instead of an error; injections that were mid-flight resume from the
+// checkpoint on the next Run.
 func Run(ctx context.Context, cfg Config) (*Report, error) {
+	rep, _, err := RunWithStats(ctx, cfg)
+	return rep, err
+}
+
+// RunWithStats is Run plus the packed-path accounting (wave occupancy,
+// lane retirement, replay savings). The stats cover only the work this
+// call performed — injections restored from a checkpoint contribute
+// nothing.
+func RunWithStats(ctx context.Context, cfg Config) (*Report, *PackedStats, error) {
 	cfg.fill()
 	if len(cfg.Specs) == 0 {
-		return nil, errors.New("inject: empty injection universe")
+		return nil, nil, errors.New("inject: empty injection universe")
 	}
 	for _, s := range cfg.Specs {
 		if s.Unit != cfg.Module.Name {
-			return nil, fmt.Errorf("inject: spec %q does not target module %s", s.String(), cfg.Module.Name)
+			return nil, nil, fmt.Errorf("inject: spec %q does not target module %s", s.String(), cfg.Module.Name)
 		}
 	}
 
 	// Golden run: fault-free behavioural execution of the same image
-	// under the same budget. Its digest is the Masked/SDCEscape oracle.
-	golden := cpu.New(cfg.MemSize)
-	golden.Load(cfg.Image)
-	if halt := golden.Run(cfg.MaxCycles); halt != cpu.HaltExit || golden.ExitCode != 0 {
-		return nil, fmt.Errorf("inject: golden run failed (halt=%v exit=%d)", halt, golden.ExitCode)
+	// under the same budget. Its digest is the Masked/SDCEscape oracle;
+	// its unit-op count drives the packed path's retirement accounting
+	// and the behavioural no-fire shortcut.
+	g, err := goldenRun(&cfg)
+	if err != nil {
+		return nil, nil, err
 	}
-	goldenDigest := digest(golden)
 
 	results := make([]Result, len(cfg.Specs))
 	done := make([]bool, len(cfg.Specs))
@@ -203,11 +239,11 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if cfg.CheckpointPath != "" {
 		cp, err := loadCheckpoint(cfg.CheckpointPath)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if cp != nil {
 			if err := validateCheckpoint(cp, &cfg); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			for _, r := range cp.Results {
 				results[r.Index] = r
@@ -223,6 +259,61 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		}
 	}
 
+	// An injection result is a pure function of its spec (the campaign
+	// seed only drives universe sampling, and intermittent LFSR phases
+	// live inside the spec), so identical specs share one run. Duplicates
+	// are common when SampleUniverse draws N larger than a small
+	// universe — the embedded transient window, for instance — and the
+	// shared run keeps the report byte-identical to evaluating each copy.
+	rep := make(map[string]int, len(cfg.Specs))
+	for i := range results {
+		if done[i] {
+			rep[results[i].Spec] = i
+		}
+	}
+	dup := make(map[int]int)
+	unique := pending[:0]
+	for _, idx := range pending {
+		key := cfg.Specs[idx].String()
+		if ri, ok := rep[key]; ok {
+			dup[idx] = ri
+			continue
+		}
+		rep[key] = idx
+		unique = append(unique, idx)
+	}
+	pending = unique
+
+	var stats *PackedStats
+	if cfg.Scalar {
+		err = runScalar(ctx, &cfg, g, pending, results, done)
+	} else {
+		stats = newPackedStats(g)
+		err = runPacked(ctx, &cfg, g, stats, pending, results, done)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(dup) > 0 {
+		for idx, ri := range dup {
+			if done[ri] && !done[idx] {
+				r := results[ri]
+				r.Index = idx
+				results[idx] = r
+				done[idx] = true
+			}
+		}
+		if err := persist(&cfg, results, done); err != nil {
+			return nil, nil, err
+		}
+	}
+	return buildReport(&cfg, results, done), stats, nil
+}
+
+// runScalar is the baseline campaign loop: every pending injection is
+// one independent full replay, fanned out via par.Map in waves of
+// CheckpointEvery.
+func runScalar(ctx context.Context, cfg *Config, g *goldenInfo, pending []int, results []Result, done []bool) error {
 	for len(pending) > 0 && ctx.Err() == nil {
 		wave := pending
 		if len(wave) > cfg.CheckpointEvery {
@@ -236,7 +327,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		}
 		outs, err := par.Map(ctx, len(wave), cfg.Parallelism, func(ctx context.Context, i int) (taskOut, error) {
 			idx := wave[i]
-			r, ok, err := runOne(ctx, &cfg, idx, goldenDigest)
+			r, ok, err := runOne(ctx, cfg, idx, g)
 			return taskOut{r, ok}, err
 		})
 		for i, o := range outs {
@@ -246,31 +337,150 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			}
 		}
 		if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
-			return nil, err
+			return err
 		}
-		if err := persist(&cfg, results, done); err != nil {
-			return nil, err
+		if err := persist(cfg, results, done); err != nil {
+			return err
 		}
 	}
-
-	rep := buildReport(&cfg, results, done)
-	return rep, nil
+	return nil
 }
 
-// runOne executes one injection. ok=false means the run was interrupted
-// by ctx before finishing — the injection stays pending for resume.
-func runOne(ctx context.Context, cfg *Config, idx int, goldenDigest uint64) (Result, bool, error) {
+// unit is one packed work item: a run of same-class pending injections.
+// Netlist classes fill the 63 fault lanes of one wave; behavioural
+// classes are grouped only for checkpoint granularity.
+type unit struct {
+	class Class
+	idxs  []int
+}
+
+// partitionUnits splits the pending injections, per class and in index
+// order, into packed work units.
+func partitionUnits(cfg *Config, pending []int) []unit {
+	byClass := make(map[Class][]int)
+	for _, idx := range pending {
+		cl := cfg.Specs[idx].Class
+		byClass[cl] = append(byClass[cl], idx)
+	}
+	var units []unit
+	for _, cl := range Classes() {
+		idxs := byClass[cl]
+		size := engine.Lanes - 1
+		if cl == Transient || cl == Intermittent {
+			size = cfg.CheckpointEvery
+		}
+		for len(idxs) > 0 {
+			n := min(size, len(idxs))
+			units = append(units, unit{class: cl, idxs: idxs[:n]})
+			idxs = idxs[n:]
+		}
+	}
+	return units
+}
+
+// runPacked is the packed campaign loop: pending injections are
+// partitioned into per-class units (one wave, or one behavioural
+// batch), processed par.N at a time, checkpointing after every batch.
+func runPacked(ctx context.Context, cfg *Config, g *goldenInfo, stats *PackedStats, pending []int, results []Result, done []bool) error {
+	units := partitionUnits(cfg, pending)
+	batch := par.N(cfg.Parallelism)
+	for len(units) > 0 && ctx.Err() == nil {
+		n := min(batch, len(units))
+		cur := units[:n]
+		units = units[n:]
+
+		type unitOut struct {
+			rs   []Result
+			ok   []bool
+			acct waveAcct
+		}
+		outs, err := par.Map(ctx, len(cur), cfg.Parallelism, func(ctx context.Context, i int) (unitOut, error) {
+			rs, ok, acct, err := runUnit(ctx, cfg, g, cur[i])
+			return unitOut{rs, ok, acct}, err
+		})
+		for i, o := range outs {
+			if o.rs == nil {
+				continue // unit aborted before producing results
+			}
+			for j, idx := range cur[i].idxs {
+				if o.ok[j] {
+					results[idx] = o.rs[j]
+					done[idx] = true
+				}
+			}
+			stats.merge(cur[i].class, o.acct)
+		}
+		if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		if err := persist(cfg, results, done); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runUnit dispatches one work unit: a packed wave for netlist classes,
+// a shortcut-or-replay sweep for behavioural classes.
+func runUnit(ctx context.Context, cfg *Config, g *goldenInfo, u unit) ([]Result, []bool, waveAcct, error) {
+	if u.class == StuckAt || u.class == MultiFault {
+		return runPackedWave(ctx, cfg, g, u.idxs)
+	}
+	results := make([]Result, len(u.idxs))
+	done := make([]bool, len(u.idxs))
+	var acct waveAcct
+	for i, idx := range u.idxs {
+		if ctx.Err() != nil {
+			break
+		}
+		r, ok, replayed, err := runBehavioural(ctx, cfg, g, idx)
+		if err != nil {
+			return results, done, acct, err
+		}
+		if ok {
+			results[i], done[i] = r, true
+			if replayed {
+				acct.behReplayed++
+			} else {
+				acct.behShortcut++
+			}
+		}
+	}
+	return results, done, acct, nil
+}
+
+// runOne executes one injection as a full scalar replay. ok=false means
+// the run was interrupted by ctx before finishing — the injection stays
+// pending for resume.
+func runOne(ctx context.Context, cfg *Config, idx int, g *goldenInfo) (Result, bool, error) {
 	s := cfg.Specs[idx]
 	c := cpu.New(cfg.MemSize)
 	if err := Attach(cfg.Module, c, s); err != nil {
 		return Result{}, false, fmt.Errorf("injection %d (%s): %w", idx, s.String(), err)
 	}
+	d := track(cfg.Module, c)
 	c.Load(cfg.Image)
 	halt := c.RunCtx(ctx, cfg.MaxCycles)
 	if halt == cpu.HaltInterrupted {
 		return Result{}, false, nil
 	}
-	eq := halt == cpu.HaltExit && digest(c) == goldenDigest
+	return finish(cfg, idx, c, halt, g, d), true, nil
+}
+
+// finish classifies a completed (non-interrupted) injection run. Shared
+// by the scalar baseline and the packed path's continuations so both
+// produce byte-identical results. The state digest (an FNV pass over
+// all of memory) is computed only for runs that completed: a trapped or
+// hung run's state is never compared against the golden digest, and
+// skipping the hash there is a large fraction of the campaign cost.
+func finish(cfg *Config, idx int, c *cpu.CPU, halt cpu.HaltReason, g *goldenInfo, d *diverge) Result {
+	s := cfg.Specs[idx]
+	var dig uint64
+	eq := false
+	if halt == cpu.HaltExit {
+		dig = digest(c)
+		eq = dig == g.digest
+	}
 	r := Result{
 		Index:   idx,
 		Spec:    s.String(),
@@ -278,32 +488,55 @@ func runOne(ctx context.Context, cfg *Config, idx int, goldenDigest uint64) (Res
 		Outcome: classify(halt, eq).String(),
 		Halt:    halt.String(),
 		Cycles:  c.Cycles,
+		Digest:  dig,
+	}
+	if d.hit {
+		r.DivergedAt = d.at + 1
 	}
 	if halt == cpu.HaltBreak {
 		r.Case = lift.FailedCase(c.X[9])
 	}
-	return r, true, nil
+	return r
 }
 
 // digest folds the full architectural state (registers, FP state, exit
-// code, memory) into one FNV-1a hash — the golden-comparison oracle.
+// code, memory) into one hash — the golden-comparison oracle. The mix
+// is FNV-1a lifted to 64-bit words: hashing memory one word at a time
+// instead of byte-at-a-time makes the digest ~10x cheaper, and with a
+// megabyte-scale arena per injection the digest is a first-order cost
+// of the whole campaign. Any change to the word stream changes the
+// hash; both the scalar and packed paths share this function, so the
+// cross-path byte-identity contract is unaffected by the exact mix.
 func digest(c *cpu.CPU) uint64 {
-	h := fnv.New64a()
-	var w [4]byte
-	word := func(v uint32) {
-		w[0], w[1], w[2], w[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
-		h.Write(w[:])
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime
 	}
-	word(c.ExitCode)
-	word(c.FFlags)
+	mix(uint64(c.ExitCode))
+	mix(uint64(c.FFlags))
 	for _, v := range c.X {
-		word(v)
+		mix(uint64(v))
 	}
 	for _, v := range c.F {
-		word(v)
+		mix(uint64(v))
 	}
-	h.Write(c.Mem)
-	return h.Sum64()
+	mem := c.Mem
+	for len(mem) >= 8 {
+		mix(binary.LittleEndian.Uint64(mem))
+		mem = mem[8:]
+	}
+	var tail uint64
+	for i, b := range mem {
+		tail |= uint64(b) << (8 * uint(i))
+	}
+	mix(tail)
+	mix(uint64(len(c.Mem)))
+	return h
 }
 
 func persist(cfg *Config, results []Result, done []bool) error {
@@ -314,6 +547,7 @@ func persist(cfg *Config, results []Result, done []bool) error {
 		return nil
 	}
 	cp := checkpoint{
+		Version:   checkpointVersion,
 		Unit:      cfg.Module.Name,
 		Mode:      cfg.Mode,
 		Seed:      cfg.Seed,
@@ -363,8 +597,16 @@ func loadCheckpoint(path string) (*checkpoint, error) {
 }
 
 // validateCheckpoint rejects a checkpoint written by a different
-// campaign: resuming it would silently mix incompatible results.
+// campaign (resuming it would silently mix incompatible results) or by
+// a newer schema than this binary understands. Version 0 — the
+// pre-versioning schema — is accepted: its results simply lack the
+// Digest/DivergedAt fields, and the remaining injections resume onto
+// the current (packed) path with identical classifications.
 func validateCheckpoint(cp *checkpoint, cfg *Config) error {
+	if cp.Version < 0 || cp.Version > checkpointVersion {
+		return fmt.Errorf("inject: checkpoint %s has schema version %d, this build understands <= %d — "+
+			"refusing a stale resume", cfg.CheckpointPath, cp.Version, checkpointVersion)
+	}
 	if cp.Unit != cfg.Module.Name || cp.Mode != cfg.Mode ||
 		cp.Seed != cfg.Seed || cp.MaxCycles != cfg.MaxCycles || len(cp.Specs) != len(cfg.Specs) {
 		return fmt.Errorf("inject: checkpoint %s belongs to a different campaign "+

@@ -97,6 +97,45 @@ func TestCampaignCompletes(t *testing.T) {
 	}
 }
 
+// TestCampaignDuplicateSpecsShareResults: a result is a pure function
+// of its spec, so duplicated specs (SampleUniverse drawing more than a
+// small universe holds) are evaluated once and the copies inherit the
+// run byte-for-byte — same outcome, digest, cycles, divergence — with
+// only the index rewritten. Packed and scalar must agree on the whole
+// report with duplicates present.
+func TestCampaignDuplicateSpecsShareResults(t *testing.T) {
+	cfg, _ := testCampaign(t, 2)
+	cfg.Specs = append(cfg.Specs, cfg.Specs[0], cfg.Specs[3], cfg.Specs[5])
+	cfg.Parallelism = 1
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != len(cfg.Specs) {
+		t.Fatalf("completed %d/%d", rep.Completed, len(cfg.Specs))
+	}
+	byIdx := make(map[int]Result)
+	for _, r := range rep.Results {
+		byIdx[r.Index] = r
+	}
+	for want, got := range map[int]int{0: 8, 3: 9, 5: 10} {
+		w, g := byIdx[want], byIdx[got]
+		if g.Index != got {
+			t.Fatalf("duplicate of %d has index %d, want %d", want, g.Index, got)
+		}
+		w.Index = g.Index
+		if w != g {
+			t.Errorf("duplicate of spec %d diverges:\n %+v\n %+v", want, w, g)
+		}
+	}
+	cfg.Scalar = true
+	j := runJSON(t, cfg)
+	cfg.Scalar = false
+	if p := runJSON(t, cfg); !bytes.Equal(j, p) {
+		t.Errorf("packed and scalar reports differ with duplicate specs:\n%s\n---\n%s", p, j)
+	}
+}
+
 // TestCampaignInterruptAndResume is the checkpoint/resume contract: a
 // campaign cancelled mid-flight leaves a checkpoint from which a second
 // Run produces the byte-identical final report of an uninterrupted run.

@@ -25,10 +25,12 @@ func NewDriverOn(m *Module, nl *netlist.Netlist) *Driver {
 	return &Driver{M: m, Sim: sim.New(nl)}
 }
 
-// stallLimit is how many cycles past the nominal latency Exec waits for
+// StallLimit is how many cycles past the nominal latency Exec waits for
 // out_valid before declaring the unit hung. A real integration would be a
-// watchdog; the bound only needs to exceed the pipeline depth.
-const stallLimit = 8
+// watchdog; the bound only needs to exceed the pipeline depth. Exported
+// because the packed fault-campaign driver (internal/inject) must wait
+// the exact same number of cycles to classify a lane as stalled.
+const StallLimit = 8
 
 // Exec presents one operation and waits for the result. ok=false means
 // the unit never raised out_valid — the stall ("S") failure mode of the
@@ -41,7 +43,7 @@ func (d *Driver) Exec(op, a, b uint32) (result, flags uint32, ok bool) {
 	s.SetInput(PortB, uint64(b))
 	s.Step()
 	s.SetInput(PortInValid, 0)
-	for i := 0; i < d.M.Latency+stallLimit; i++ {
+	for i := 0; i < d.M.Latency+StallLimit; i++ {
 		if s.Output(PortOutValid) == 1 {
 			return uint32(s.Output(PortResult)), uint32(s.Output(PortFlags)), true
 		}
@@ -58,7 +60,7 @@ func (d *Driver) ExecPipelined(ops []uint32, as, bs []uint32) (results []uint32,
 	s := d.Sim
 	total := len(ops)
 	collected := 0
-	for cyc := 0; cyc < total+d.M.Latency+stallLimit && collected < total; cyc++ {
+	for cyc := 0; cyc < total+d.M.Latency+StallLimit && collected < total; cyc++ {
 		if cyc < total {
 			s.SetInput(PortInValid, 1)
 			s.SetInput(PortOp, uint64(ops[cyc]))

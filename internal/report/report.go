@@ -4,6 +4,7 @@ package report
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/core"
@@ -105,8 +106,51 @@ func abs(v float64) float64 {
 // Pct formats a percentage cell.
 func Pct(v float64) string { return fmt.Sprintf("%.1f", v) }
 
+// wilsonZ is the two-sided 95% normal quantile used by Wilson.
+const wilsonZ = 1.959963984540054
+
+// Wilson returns the 95% Wilson score confidence interval for a
+// binomial proportion with k successes in n trials, as fractions in
+// [0, 1]. Unlike the normal approximation it behaves sensibly at the
+// edges: k=0 yields a nonzero upper bound (observing no escapes in n
+// trials does not prove a zero escape rate), and k=n yields a lower
+// bound below 1. n=0 carries no information and returns the vacuous
+// interval [0, 1].
+func Wilson(k, n int) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	z := wilsonZ
+	p := float64(k) / float64(n)
+	nn := float64(n)
+	denom := 1 + z*z/nn
+	center := p + z*z/(2*nn)
+	margin := z * math.Sqrt(p*(1-p)/nn+z*z/(4*nn*nn))
+	lo = (center - margin) / denom
+	hi = (center + margin) / denom
+	// Pin the exact edges: at k=0 (k=n) the interval includes 0 (1) by
+	// construction, but the float evaluation leaves a ~1e-17 residue.
+	if k == 0 {
+		lo = 0
+	}
+	if k == n {
+		hi = 1
+	}
+	return math.Max(lo, 0), math.Min(hi, 1)
+}
+
+// ci renders a Wilson interval as a "lo-hi" percent cell.
+func ci(k, n int) string {
+	if n == 0 {
+		return "-"
+	}
+	lo, hi := Wilson(k, n)
+	return fmt.Sprintf("%.1f-%.1f", lo*100, hi*100)
+}
+
 // EscapeTable renders an injection campaign's per-class outcome counts
-// and escape rates (internal/inject).
+// and escape rates (internal/inject) with 95% Wilson confidence
+// intervals on the escape rate.
 func EscapeTable(r *inject.Report) string {
 	var rows [][]string
 	for _, c := range r.Classes {
@@ -118,7 +162,39 @@ func EscapeTable(r *inject.Report) string {
 			fmt.Sprint(c.SDCEscape),
 			fmt.Sprint(c.StallCrash),
 			Pct(c.EscapeRate * 100),
+			ci(c.SDCEscape, c.Total),
 		})
 	}
-	return Table([]string{"Class", "N", "Det.", "Masked", "SDC", "Stall", "Escape%"}, rows)
+	return Table([]string{"Class", "N", "Det.", "Masked", "SDC", "Stall", "Escape%", "95% CI"}, rows)
+}
+
+// PackedStatsTable renders the packed campaign path's per-class wave
+// occupancy and savings accounting (inject.RunWithStats).
+func PackedStatsTable(ps *inject.PackedStats) string {
+	var rows [][]string
+	for i := range ps.Classes {
+		c := &ps.Classes[i]
+		saved := "-"
+		if c.LanesUsed > 0 {
+			saved = Pct(inject.Savings(ps.GoldenOps, c)*100) + "%"
+		}
+		occ := "-"
+		if c.LaneSlots > 0 {
+			occ = Pct(c.Occupancy()*100) + "%"
+		}
+		rows = append(rows, []string{
+			c.Class,
+			fmt.Sprint(c.Waves),
+			fmt.Sprintf("%d/%d", c.LanesUsed, c.LaneSlots),
+			occ,
+			fmt.Sprint(c.Retired),
+			fmt.Sprint(c.MaskedInWave),
+			fmt.Sprint(c.Fallbacks),
+			saved,
+			fmt.Sprint(c.Shortcut),
+			fmt.Sprint(c.Replayed),
+		})
+	}
+	return Table([]string{"Class", "Waves", "Lanes", "Occup.", "Retired", "MaskedFree",
+		"Fallback", "SavedOps", "Shortcut", "Replayed"}, rows)
 }

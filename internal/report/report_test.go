@@ -69,3 +69,57 @@ func TestPct(t *testing.T) {
 		t.Errorf("Pct = %q", Pct(33.333))
 	}
 }
+
+// TestWilson pins the 95% Wilson score interval against independently
+// computed reference values (R binom::binom.wilson / hand-evaluated
+// closed form).
+func TestWilson(t *testing.T) {
+	const tol = 1e-9
+	cases := []struct {
+		k, n   int
+		lo, hi float64
+	}{
+		{0, 10, 0, 0.2775327998628892},
+		{10, 10, 0.7224672001371106, 1},
+		{5, 10, 0.2365930905125640, 0.7634069094874359},
+		{1, 100, 0.0017674320641407, 0.0544861961787053},
+		{50, 10000, 0.0037949010708382, 0.0065852573161316},
+		{9999, 10000, 0.9994337311025987, 0.9999823473263989},
+	}
+	for _, tc := range cases {
+		lo, hi := Wilson(tc.k, tc.n)
+		if diff(lo, tc.lo) > tol || diff(hi, tc.hi) > tol {
+			t.Errorf("Wilson(%d, %d) = [%.13f, %.13f], want [%.13f, %.13f]",
+				tc.k, tc.n, lo, hi, tc.lo, tc.hi)
+		}
+	}
+}
+
+func diff(a, b float64) float64 { return abs(a - b) }
+
+// TestWilsonEdges: n=0 carries no information (vacuous interval); k=0
+// still has a nonzero upper bound; bounds stay inside [0, 1].
+func TestWilsonEdges(t *testing.T) {
+	if lo, hi := Wilson(0, 0); lo != 0 || hi != 1 {
+		t.Errorf("Wilson(0, 0) = [%v, %v], want [0, 1]", lo, hi)
+	}
+	lo, hi := Wilson(0, 25)
+	if lo != 0 {
+		t.Errorf("Wilson(0, 25) lo = %v, want 0", lo)
+	}
+	if hi <= 0 || hi >= 0.2 {
+		t.Errorf("Wilson(0, 25) hi = %v, want small but nonzero", hi)
+	}
+	for _, n := range []int{1, 2, 7, 10000} {
+		for _, k := range []int{0, 1, n / 2, n} {
+			lo, hi := Wilson(k, n)
+			if lo < 0 || hi > 1 || lo > hi {
+				t.Errorf("Wilson(%d, %d) = [%v, %v] not a sub-interval of [0, 1]", k, n, lo, hi)
+			}
+			p := float64(k) / float64(n)
+			if p < lo || p > hi {
+				t.Errorf("Wilson(%d, %d) = [%v, %v] excludes the point estimate %v", k, n, lo, hi, p)
+			}
+		}
+	}
+}
