@@ -7,11 +7,34 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/report"
 	"repro/internal/sta"
 )
+
+// timed runs f and, when -stats is on, prints its wall time and
+// allocation delta (a GC first, so TotalAlloc attributes bytes to this
+// stage rather than survivors of the previous one).
+func timed(on bool, label string, f func()) {
+	if !on {
+		f()
+		return
+	}
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	f()
+	el := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	fmt.Printf("  [stats] %-18s %9.1f ms  %8.1f MiB allocated\n",
+		label, float64(el.Microseconds())/1000,
+		float64(m1.TotalAlloc-m0.TotalAlloc)/(1<<20))
+}
 
 func main() {
 	years := flag.Float64("years", 10, "assumed lifetime in years")
@@ -23,6 +46,8 @@ func main() {
 	jobs := flag.Int("j", 0, "worker parallelism (0 = all CPUs, 1 = sequential)")
 	randomSP := flag.Int("random-sp", 0,
 		"profile-free mode: collect the SP profile from this many 64-lane packed cycles of uniform random stimulus instead of workload replay")
+	stats := flag.Bool("stats", false,
+		"print per-phase wall time and bytes allocated (profile, timing-graph compile, analysis) plus compiled-artifact cache counters")
 	flag.Parse()
 
 	cfg := core.Config{Years: *years, Parallelism: *jobs}
@@ -37,10 +62,21 @@ func main() {
 			fmt.Printf("  SP profile: random stimulus, %d packed cycles (%d lane-cycles)\n",
 				*randomSP, w.SPProfile.Cycles)
 		}
-		if _, err := w.AgingAnalysis(); err != nil {
-			log.Fatal(err)
+		if *stats && w.SPProfile == nil {
+			timed(true, "profile workloads", func() {
+				if err := w.ProfileWorkloads(); err != nil {
+					log.Fatal(err)
+				}
+			})
 		}
-		fresh := w.FreshAnalysis()
+		timed(*stats, "compile (timing)", func() { sta.CachedGraph(w.Module.Netlist) })
+		var agingErr error
+		timed(*stats, "aging STA", func() { _, agingErr = w.AgingAnalysis() })
+		if agingErr != nil {
+			log.Fatal(agingErr)
+		}
+		var fresh *sta.Result
+		timed(*stats, "fresh STA", func() { fresh = w.FreshAnalysis() })
 		fmt.Printf("  fresh signoff: WNS setup %+.1fps, WNS hold %+.1fps (must both be positive)\n",
 			fresh.WNSSetup, fresh.WNSHold)
 		t3 := w.Table3()
@@ -88,4 +124,10 @@ func main() {
 	fmt.Print(report.Table(
 		[]string{"Unit", "WNS / setup paths", "WNS / hold paths", "unique pairs"},
 		rows))
+	if *stats {
+		es, gs := engine.CacheStats(), sta.GraphCacheStats()
+		fmt.Printf("\ncaches: programs %d/%d hit (%d resident, %d evicted), graphs %d/%d hit (%d resident, %d evicted)\n",
+			es.Hits, es.Hits+es.Misses, es.Len, es.Evictions,
+			gs.Hits, gs.Hits+gs.Misses, gs.Len, gs.Evictions)
+	}
 }

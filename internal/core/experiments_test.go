@@ -196,6 +196,48 @@ func TestLifetimeSweepMonotonic(t *testing.T) {
 	t.Logf("ALU failure onset: %.0f years (WNS@10y %.1fps)", onset, pts[len(pts)-1].WNSSetup)
 }
 
+func TestOnsetBisectMatchesSweep(t *testing.T) {
+	w := NewALU(Config{Workloads: []string{"crc32", "minver"}})
+	onset, err := w.OnsetBisect(10, 0.125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onset <= 0 || onset > 10 {
+		t.Fatalf("bisected onset = %v, want within (0, 10]", onset)
+	}
+	// The bisected onset must land inside the bracket a fine grid sweep
+	// establishes: the last surviving grid point below it, the first
+	// violating grid point at or above it.
+	years := make([]float64, 0, 81)
+	for y := 0.0; y <= 10.0001; y += 0.125 {
+		years = append(years, y)
+	}
+	pts, err := w.LifetimeSweep(years)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gridOnset := FailureOnsetYears(pts)
+	if gridOnset <= 0 {
+		t.Fatalf("grid sweep found no onset")
+	}
+	if diff := onset - gridOnset; diff < -0.125-1e-9 || diff > 0.125+1e-9 {
+		t.Errorf("bisected onset %.4f vs grid onset %.4f: disagree beyond one grid step", onset, gridOnset)
+	}
+	t.Logf("onset: bisect %.3f years, grid %.3f years", onset, gridOnset)
+}
+
+func TestOnsetBisectSurvivor(t *testing.T) {
+	// A horizon before the ALU's onset must report survival as -1.
+	w := NewALU(Config{Workloads: []string{"crc32"}})
+	onset, err := w.OnsetBisect(0.01, 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onset != -1 {
+		t.Errorf("onset = %v at a 0.01-year horizon, want -1 (survives)", onset)
+	}
+}
+
 func TestTemperatureSweep(t *testing.T) {
 	w := NewALU(Config{Workloads: []string{"crc32"}, Years: 10})
 	pts, err := w.TemperatureSweep([]float64{55, 85, 125})

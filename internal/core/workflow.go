@@ -396,6 +396,48 @@ func FailureOnsetYears(points []OnsetPoint) float64 {
 	return -1
 }
 
+// OnsetBisect resolves the failure-onset lifetime to within tol years by
+// bisecting over (0, maxYears]. Where LifetimeSweep answers the question
+// with a dense grid in one batched pass, the bisection holds a single
+// persistent sta.Incremental and moves its live corner between probes:
+// adjacent lifetimes produce bitwise-identical aged delays for most
+// cells (ties, saturated SP bins, cells far from their factor-grid
+// breakpoints), so each probe re-times only the cones that actually
+// shifted instead of re-running a full analysis. Returns the smallest
+// probed lifetime with a violation, or -1 if the unit survives maxYears.
+func (w *Workflow) OnsetBisect(maxYears, tol float64) (float64, error) {
+	if w.SPProfile == nil {
+		if err := w.ProfileWorkloads(); err != nil {
+			return 0, err
+		}
+	}
+	if maxYears <= 0 {
+		return 0, fmt.Errorf("core: OnsetBisect needs maxYears > 0, got %v", maxYears)
+	}
+	if tol <= 0 {
+		tol = maxYears / 128
+	}
+	violates := func(rs []*sta.Result) bool {
+		return rs[0].NumSetupViolations > 0 || rs[0].NumHoldViolations > 0
+	}
+	inc := sta.NewIncremental(w.Module.Netlist, w.batchConfig(),
+		[]sta.Corner{{Years: maxYears}})
+	defer inc.Close()
+	if !violates(inc.Results()) {
+		return -1, nil
+	}
+	lo, hi := 0.0, maxYears // lo: meets timing (calibrated fresh); hi: violates
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		if violates(inc.SetCorners([]sta.Corner{{Years: mid}})) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
 // TempPoint is one sample of a temperature sweep.
 type TempPoint struct {
 	TempC           float64

@@ -3,6 +3,7 @@ package engine
 import (
 	"sync"
 
+	"repro/internal/lru"
 	"repro/internal/netlist"
 )
 
@@ -19,15 +20,16 @@ import (
 //
 // Failing netlists are transient — each test-quality task builds one,
 // replays the suite, and drops it — so an unbounded map would grow with
-// the experiment. The cache is bounded: when it reaches cacheCap entries
-// it is wiped and rebuilt from demand. Eviction only costs a recompile,
+// the experiment. The cache is a bounded LRU: the module netlists every
+// campaign keeps coming back to stay resident while the one-shot failing
+// netlists cycle through the cold end. Eviction only costs a recompile,
 // never correctness.
 const cacheCap = 512
 
 var cache = struct {
 	sync.Mutex
-	m map[*netlist.Netlist]*Program
-}{m: make(map[*netlist.Netlist]*Program)}
+	c *lru.Cache[*netlist.Netlist, *Program]
+}{c: lru.New[*netlist.Netlist, *Program](cacheCap)}
 
 // Cached returns the compiled program for nl, compiling and memoizing it
 // on first use. Safe for concurrent use; the returned program is shared
@@ -35,14 +37,11 @@ var cache = struct {
 func Cached(nl *netlist.Netlist) *Program {
 	cache.Lock()
 	defer cache.Unlock()
-	if p, ok := cache.m[nl]; ok {
+	if p, ok := cache.c.Get(nl); ok {
 		return p
 	}
-	if len(cache.m) >= cacheCap {
-		cache.m = make(map[*netlist.Netlist]*Program)
-	}
 	p := Compile(nl)
-	cache.m[nl] = p
+	cache.c.Add(nl, p)
 	return p
 }
 
@@ -50,5 +49,12 @@ func Cached(nl *netlist.Netlist) *Program {
 func CacheSize() int {
 	cache.Lock()
 	defer cache.Unlock()
-	return len(cache.m)
+	return cache.c.Len()
+}
+
+// CacheStats snapshots the program cache's hit/miss/eviction counters.
+func CacheStats() lru.Stats {
+	cache.Lock()
+	defer cache.Unlock()
+	return cache.c.Stats()
 }

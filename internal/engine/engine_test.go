@@ -11,6 +11,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/netlist"
 	"repro/internal/sim"
+	"repro/internal/synth"
 )
 
 // randomNetlist builds a random sequential DAG: a clock (with a buffered
@@ -250,6 +251,29 @@ func TestCompileStructure(t *testing.T) {
 
 // TestCachedSharesPrograms checks the keyed cache: same netlist, same
 // program instance; distinct netlists, distinct programs.
+// TestCompileAllocsConstant guards the million-op compile path: every
+// Program slice is pre-counted and allocated exactly once, so the
+// allocation count must not grow with netlist size. The bound is a small
+// constant (the fixed set of slice headers plus the Program itself), not
+// a per-cell budget.
+func TestCompileAllocsConstant(t *testing.T) {
+	small := synth.Pipeline{Stages: 3, Width: 8, Lanes: 1}.Build()
+	large := synth.Pipeline{Stages: 5, Width: 32, Lanes: 4}.Build()
+	if len(large.Cells) < 4*len(small.Cells) {
+		t.Fatalf("test premise broken: %d vs %d cells", len(small.Cells), len(large.Cells))
+	}
+	measure := func(nl *netlist.Netlist) float64 {
+		return testing.AllocsPerRun(10, func() { engine.Compile(nl) })
+	}
+	a, b := measure(small), measure(large)
+	if a != b {
+		t.Errorf("Compile allocations scale with netlist size: %v (small) vs %v (large)", a, b)
+	}
+	if a > 16 {
+		t.Errorf("Compile makes %v allocations, want a small constant", a)
+	}
+}
+
 func TestCachedSharesPrograms(t *testing.T) {
 	a := randomNetlist(7)
 	b := randomNetlist(8)

@@ -130,7 +130,16 @@ func Compile(nl *netlist.Netlist) *Program {
 		p.Level[i] = lvl
 	}
 
-	// Kind-grouped dispatch runs over the unmodified order.
+	// Kind-grouped dispatch runs over the unmodified order, counted first
+	// so the slice is a single exact allocation — at million-op scale the
+	// append-doubling copies, not the fills, used to dominate compile time.
+	numRuns := 0
+	for i := range p.Ops {
+		if i == 0 || p.Ops[i].Kind != p.Ops[i-1].Kind {
+			numRuns++
+		}
+	}
+	p.Runs = make([]Run, 0, numRuns)
 	for lo := 0; lo < len(p.Ops); {
 		hi := lo + 1
 		for hi < len(p.Ops) && p.Ops[hi].Kind == p.Ops[lo].Kind {
@@ -140,11 +149,19 @@ func Compile(nl *netlist.Netlist) *Program {
 		lo = hi
 	}
 
-	// Sequential and clock-network structure.
+	// Sequential and clock-network structure, same pre-counted shape.
+	numDFFs := 0
+	for i := range nl.Cells {
+		if nl.Cells[i].Kind == cell.DFF {
+			numDFFs++
+		}
+	}
+	p.DFFs = make([]DFF, 0, numDFFs)
 	if nl.ClockRoot != netlist.NoNet {
 		p.IsClockNet[nl.ClockRoot] = true
 	}
-	for i, c := range nl.Cells {
+	for i := range nl.Cells {
+		c := &nl.Cells[i]
 		switch {
 		case c.Kind == cell.DFF:
 			p.DFFs = append(p.DFFs, DFF{
@@ -155,6 +172,14 @@ func Compile(nl *netlist.Netlist) *Program {
 			p.IsClockNet[c.Out] = true
 		}
 	}
+	numClock := 0
+	for n := 0; n < p.NumNets; n++ {
+		if p.IsClockNet[n] {
+			numClock++
+		}
+	}
+	p.clockNets = make([]int32, 0, numClock)
+	p.dataNets = make([]int32, 0, p.NumNets-numClock)
 	for n := 0; n < p.NumNets; n++ {
 		if p.IsClockNet[n] {
 			p.clockNets = append(p.clockNets, int32(n))

@@ -1,0 +1,110 @@
+// Package lru provides the small bounded LRU cache behind the compile
+// memoizers (engine.Cached, sta.CachedGraph). Those caches used to wipe
+// themselves wholesale at capacity, which made every long fault-injection
+// or test-quality campaign pay a periodic recompile storm for its hottest
+// netlists; a real least-recently-used policy keeps the working set warm
+// and evicts only the one-shot entries. The counters exported through
+// Stats are the groundwork for the ROADMAP's content-addressed artifact
+// store: hit/miss/eviction rates are what decide whether an artifact is
+// worth persisting.
+//
+// The cache is not internally locked — callers already serialize access
+// with the mutex that guards their map, and double-locking here would
+// just add contention on the compile fast path.
+package lru
+
+// Stats is a point-in-time snapshot of a cache's effectiveness counters.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Len       int
+}
+
+// entry is one node of the intrusive recency list. The list is circular
+// with a sentinel root: root.next is the most recently used entry,
+// root.prev the least.
+type entry[K comparable, V any] struct {
+	key        K
+	val        V
+	prev, next *entry[K, V]
+}
+
+// Cache is a fixed-capacity map with least-recently-used eviction.
+// The zero value is not usable; construct with New.
+type Cache[K comparable, V any] struct {
+	capacity int
+	m        map[K]*entry[K, V]
+	root     entry[K, V] // sentinel of the circular recency list
+
+	hits, misses, evictions uint64
+}
+
+// New returns an empty cache that holds at most capacity entries.
+// capacity must be positive.
+func New[K comparable, V any](capacity int) *Cache[K, V] {
+	if capacity <= 0 {
+		panic("lru: capacity must be positive")
+	}
+	c := &Cache[K, V]{
+		capacity: capacity,
+		m:        make(map[K]*entry[K, V], capacity),
+	}
+	c.root.prev = &c.root
+	c.root.next = &c.root
+	return c
+}
+
+func (c *Cache[K, V]) unlink(e *entry[K, V]) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+}
+
+func (c *Cache[K, V]) pushFront(e *entry[K, V]) {
+	e.prev = &c.root
+	e.next = c.root.next
+	e.prev.next = e
+	e.next.prev = e
+}
+
+// Get returns the value for k, promoting it to most recently used. The
+// miss counter advances on lookup failure.
+func (c *Cache[K, V]) Get(k K) (V, bool) {
+	if e, ok := c.m[k]; ok {
+		c.hits++
+		c.unlink(e)
+		c.pushFront(e)
+		return e.val, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Add inserts or updates k, making it the most recently used entry and
+// evicting the least recently used one if the cache is over capacity.
+func (c *Cache[K, V]) Add(k K, v V) {
+	if e, ok := c.m[k]; ok {
+		e.val = v
+		c.unlink(e)
+		c.pushFront(e)
+		return
+	}
+	if len(c.m) >= c.capacity {
+		lru := c.root.prev
+		c.unlink(lru)
+		delete(c.m, lru.key)
+		c.evictions++
+	}
+	e := &entry[K, V]{key: k, val: v}
+	c.m[k] = e
+	c.pushFront(e)
+}
+
+// Len reports the number of cached entries.
+func (c *Cache[K, V]) Len() int { return len(c.m) }
+
+// Stats snapshots the effectiveness counters.
+func (c *Cache[K, V]) Stats() Stats {
+	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Len: len(c.m)}
+}

@@ -3,12 +3,20 @@ package netlist
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"repro/internal/cell"
 )
 
 // Builder constructs (or extends) a Netlist. All errors are deferred to
 // Build so circuit-construction code can stay free of error plumbing.
+//
+// Cell construction is arena-backed for million-cell netlists: cells live
+// in one growing []Cell, and every cell's input-pin slice is carved out of
+// chunked []NetID slabs (inArena) instead of being its own heap object.
+// Chunks are never reallocated once handed out, so the slices stay valid
+// as the builder grows; a netlist with 10^6 two-input cells costs a few
+// dozen slab allocations instead of 10^6.
 type Builder struct {
 	name      string
 	cells     []Cell
@@ -19,7 +27,31 @@ type Builder struct {
 	netNames  map[NetID]string
 	errs      []error
 	kindSeq   [cell.NumKinds]int
+
+	// inArena is the active input-pin slab. When a cell's pins don't fit
+	// in the remaining capacity a fresh chunk replaces it; earlier chunks
+	// stay alive through the cell slices that point into them.
+	inArena []NetID
+
+	// interned dedupes instance-name strings (bounded; see intern). Built
+	// lazily — most programmatic construction never repeats a name.
+	interned map[string]string
+
+	// nameBuf backs autoName formatting so the per-cell cost is one
+	// string allocation, not a fmt.Sprintf round trip.
+	nameBuf []byte
 }
+
+// arenaChunk is the input-pin slab granularity. Large enough that slab
+// bookkeeping vanishes against million-cell imports, small enough that a
+// tiny netlist doesn't hold megabytes.
+const arenaChunk = 1 << 16
+
+// internCap bounds the interning table. Repeated names (hierarchical
+// prefixes, re-imported tool output) dedupe; once the table is full,
+// further unique names are stored without an extra index entry, so the
+// table can never grow past a fixed footprint.
+const internCap = 4096
 
 // NewBuilder returns an empty builder for a module with the given name.
 func NewBuilder(name string) *Builder {
@@ -36,8 +68,18 @@ func NewBuilderFrom(nl *Netlist) *Builder {
 	b.clockRoot = nl.ClockRoot
 	b.inputs = clonePorts(nl.Inputs)
 	b.cells = make([]Cell, len(nl.Cells))
+	// One slab holds every copied pin list; per-cell slices index into it.
+	total := 0
+	for i := range nl.Cells {
+		total += len(nl.Cells[i].In)
+	}
+	slab := make([]NetID, 0, total)
 	for i, c := range nl.Cells {
-		c.In = append([]NetID(nil), c.In...)
+		if len(c.In) > 0 {
+			lo := len(slab)
+			slab = append(slab, c.In...)
+			c.In = slab[lo:len(slab):len(slab)]
+		}
 		b.cells[i] = c
 	}
 	for k, v := range nl.netNames {
@@ -47,6 +89,63 @@ func NewBuilderFrom(nl *Netlist) *Builder {
 		b.kindSeq[c.Kind]++
 	}
 	return b
+}
+
+// Reserve pre-sizes the builder for a netlist of roughly the given cell
+// count and total input-pin count, so construction at scale never pays
+// for incremental table growth. Callers that know the counts up front
+// (the streaming Verilog importer learns them from the wire declaration;
+// generators can compute them) call it once; calling it late or with
+// small values is harmless.
+func (b *Builder) Reserve(cells, totalInputs int) {
+	if cap(b.cells)-len(b.cells) < cells {
+		grown := make([]Cell, len(b.cells), len(b.cells)+cells)
+		copy(grown, b.cells)
+		b.cells = grown
+	}
+	if totalInputs > arenaChunk && cap(b.inArena)-len(b.inArena) < totalInputs {
+		b.inArena = make([]NetID, 0, totalInputs)
+	}
+}
+
+// arenaIn copies an input-pin list into the active slab and returns the
+// stable full-capacity slice. Empty lists return nil, matching the
+// pre-arena behaviour of append([]NetID(nil), in...).
+func (b *Builder) arenaIn(in []NetID) []NetID {
+	n := len(in)
+	if n == 0 {
+		return nil
+	}
+	if cap(b.inArena)-len(b.inArena) < n {
+		sz := arenaChunk
+		if n > sz {
+			sz = n
+		}
+		b.inArena = make([]NetID, 0, sz)
+	}
+	lo := len(b.inArena)
+	b.inArena = append(b.inArena, in...)
+	return b.inArena[lo : lo+n : lo+n]
+}
+
+// intern returns a string for the byte slice, deduping repeated names
+// through a bounded table. The map lookup on the fast path does not
+// allocate (the compiler recognizes the m[string(b)] idiom).
+func (b *Builder) intern(s []byte) string {
+	if len(s) == 0 {
+		return ""
+	}
+	if b.interned == nil {
+		b.interned = make(map[string]string)
+	}
+	if v, ok := b.interned[string(s)]; ok {
+		return v
+	}
+	v := string(s)
+	if len(b.interned) < internCap {
+		b.interned[v] = v
+	}
+	return v
 }
 
 func (b *Builder) errf(format string, args ...any) {
@@ -125,7 +224,10 @@ func (b *Builder) Clock(name string) NetID {
 
 func (b *Builder) autoName(k cell.Kind) string {
 	b.kindSeq[k]++
-	return fmt.Sprintf("%s$%d", k, b.kindSeq[k])
+	b.nameBuf = append(b.nameBuf[:0], k.String()...)
+	b.nameBuf = append(b.nameBuf, '$')
+	b.nameBuf = strconv.AppendInt(b.nameBuf, int64(b.kindSeq[k]), 10)
+	return string(b.nameBuf)
 }
 
 // Add instantiates a combinational or clock cell with the given inputs and
@@ -144,7 +246,7 @@ func (b *Builder) AddNamed(k cell.Kind, name string, in ...NetID) NetID {
 		b.errf("cell %s (%s): got %d inputs, want %d", name, k, len(in), k.NumInputs())
 	}
 	out := b.Net()
-	b.cells = append(b.cells, Cell{Kind: k, Name: name, In: append([]NetID(nil), in...), Clk: NoNet, Out: out})
+	b.cells = append(b.cells, Cell{Kind: k, Name: name, In: b.arenaIn(in), Clk: NoNet, Out: out})
 	return out
 }
 
@@ -157,7 +259,7 @@ func (b *Builder) AddDFF(d, clk NetID, init bool) NetID {
 // AddDFFNamed is AddDFF with an explicit instance name.
 func (b *Builder) AddDFFNamed(name string, d, clk NetID, init bool) NetID {
 	out := b.Net()
-	b.cells = append(b.cells, Cell{Kind: cell.DFF, Name: name, In: []NetID{d}, Clk: clk, Out: out, Init: init})
+	b.cells = append(b.cells, Cell{Kind: cell.DFF, Name: name, In: b.arenaIn([]NetID{d}), Clk: clk, Out: out, Init: init})
 	return out
 }
 
@@ -168,9 +270,40 @@ func (b *Builder) AddDFFNamed(name string, d, clk NetID, init bool) NetID {
 func (b *Builder) AddRaw(k cell.Kind, name string, in []NetID, clk, out NetID, init bool) {
 	b.cells = append(b.cells, Cell{
 		Kind: k, Name: name,
-		In:  append([]NetID(nil), in...),
+		In:  b.arenaIn(in),
 		Clk: clk, Out: out, Init: init,
 	})
+}
+
+// addDFFRaw is AddRaw for the streaming parser's DFF lines: the D pin
+// goes straight into the arena without a caller-side temporary slice.
+func (b *Builder) addDFFRaw(name string, d, clk, out NetID, init bool) {
+	if cap(b.inArena)-len(b.inArena) < 1 {
+		b.inArena = make([]NetID, 0, arenaChunk)
+	}
+	lo := len(b.inArena)
+	b.inArena = append(b.inArena, d)
+	b.cells = append(b.cells, Cell{
+		Kind: cell.DFF, Name: name,
+		In:  b.inArena[lo : lo+1 : lo+1],
+		Clk: clk, Out: out, Init: init,
+	})
+}
+
+// addCombRaw is AddRaw for the streaming parser's combinational lines:
+// up to cell.MaxArity pins copied from a fixed-size array, no temporary
+// slice allocation.
+func (b *Builder) addCombRaw(k cell.Kind, name string, in [cell.MaxArity]NetID, nIn int, out NetID) {
+	if cap(b.inArena)-len(b.inArena) < nIn {
+		b.inArena = make([]NetID, 0, arenaChunk)
+	}
+	lo := len(b.inArena)
+	b.inArena = append(b.inArena, in[:nIn]...)
+	var pins []NetID
+	if nIn > 0 {
+		pins = b.inArena[lo : lo+nIn : lo+nIn]
+	}
+	b.cells = append(b.cells, Cell{Kind: k, Name: name, In: pins, Clk: NoNet, Out: out})
 }
 
 // RewireInput repoints input pin `pin` of cell cid to read from net n.
@@ -230,7 +363,10 @@ func (b *Builder) MustBuild() *Netlist {
 }
 
 // rebuild recomputes drivers and the topological order, validating
-// structural invariants.
+// structural invariants. Every derived table is sized with a counting
+// prepass — the levelization builds a CSR of ordering edges instead of
+// per-net reader slices, so a million-cell Build costs a handful of
+// large allocations rather than one small slice per net.
 func (nl *Netlist) rebuild() error {
 	driver := make([]CellID, nl.NumNets)
 	for i := range driver {
@@ -249,7 +385,8 @@ func (nl *Netlist) rebuild() error {
 	if nl.ClockRoot != NoNet {
 		external[nl.ClockRoot] = true
 	}
-	for i, c := range nl.Cells {
+	for i := range nl.Cells {
+		c := &nl.Cells[i]
 		if c.Out < 0 || int(c.Out) >= nl.NumNets {
 			return fmt.Errorf("cell %s drives invalid net %d", c.Name, c.Out)
 		}
@@ -263,7 +400,8 @@ func (nl *Netlist) rebuild() error {
 		driver[c.Out] = CellID(i)
 	}
 	used := make([]bool, nl.NumNets)
-	for _, c := range nl.Cells {
+	for i := range nl.Cells {
+		c := &nl.Cells[i]
 		// The evaluation engine flattens input lists into fixed
 		// cell.MaxArity-wide arrays (and the old interpreter's settle
 		// buffer had the same silent cap); reject oversized fan-in here so
@@ -297,45 +435,65 @@ func (nl *Netlist) rebuild() error {
 	}
 	nl.driver = driver
 
-	// Levelize combinational + clock cells with Kahn's algorithm. A cell
-	// depends on the drivers of its input pins (and, for clock cells, the
-	// clock pin is In[0] so it is covered); DFF outputs and primary inputs
-	// are sources.
-	indeg := make([]int, len(nl.Cells))
-	readers := make([][]CellID, nl.NumNets) // only pins that create ordering edges
-	queue := make([]CellID, 0, len(nl.Cells))
-	for i, c := range nl.Cells {
+	// Levelize combinational + clock cells with Kahn's algorithm over a
+	// CSR of ordering edges. A cell depends on the drivers of its input
+	// pins (and, for clock cells, the clock pin is In[0] so it is
+	// covered); DFF outputs and primary inputs are sources. The edge
+	// order — per net, reader cells in ascending cell order — and the
+	// FIFO processing reproduce exactly the order the per-net reader
+	// slices produced, so downstream compiled artifacts (engine op
+	// streams, CNF variable order) are byte-identical.
+	indeg := make([]int32, len(nl.Cells))
+	edgeCnt := make([]int32, nl.NumNets+1)
+	want := 0
+	for i := range nl.Cells {
+		c := &nl.Cells[i]
 		if c.Kind.IsSequential() {
 			continue
 		}
-		deg := 0
+		want++
+		deg := int32(0)
 		for _, in := range c.In {
 			if d := driver[in]; d != NoCell && !nl.Cells[d].Kind.IsSequential() {
 				deg++
-				readers[in] = append(readers[in], CellID(i))
+				edgeCnt[in+1]++
 			}
 		}
 		indeg[i] = deg
-		if deg == 0 {
-			queue = append(queue, CellID(i))
-		}
 	}
-	var topo []CellID
-	for len(queue) > 0 {
-		cid := queue[0]
-		queue = queue[1:]
-		topo = append(topo, cid)
-		for _, r := range readers[nl.Cells[cid].Out] {
-			indeg[r]--
-			if indeg[r] == 0 {
-				queue = append(queue, r)
+	for n := 0; n < nl.NumNets; n++ {
+		edgeCnt[n+1] += edgeCnt[n]
+	}
+	edges := make([]CellID, edgeCnt[nl.NumNets])
+	cursor := make([]int32, nl.NumNets)
+	for n := range cursor {
+		cursor[n] = edgeCnt[n]
+	}
+	for i := range nl.Cells {
+		c := &nl.Cells[i]
+		if c.Kind.IsSequential() {
+			continue
+		}
+		for _, in := range c.In {
+			if d := driver[in]; d != NoCell && !nl.Cells[d].Kind.IsSequential() {
+				edges[cursor[in]] = CellID(i)
+				cursor[in]++
 			}
 		}
 	}
-	want := 0
-	for _, c := range nl.Cells {
-		if !c.Kind.IsSequential() {
-			want++
+	topo := make([]CellID, 0, want)
+	for i := range nl.Cells {
+		if !nl.Cells[i].Kind.IsSequential() && indeg[i] == 0 {
+			topo = append(topo, CellID(i))
+		}
+	}
+	for head := 0; head < len(topo); head++ {
+		out := nl.Cells[topo[head]].Out
+		for _, r := range edges[edgeCnt[out]:edgeCnt[out+1]] {
+			indeg[r]--
+			if indeg[r] == 0 {
+				topo = append(topo, r)
+			}
 		}
 	}
 	if len(topo) != want {

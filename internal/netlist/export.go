@@ -1,8 +1,11 @@
 package netlist
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/cell"
@@ -14,54 +17,73 @@ import (
 // synthesizable gate-level description.
 func (nl *Netlist) Verilog() string {
 	var b strings.Builder
-	var portNames []string
-	if nl.ClockRoot != NoNet {
-		portNames = append(portNames, nl.NetName(nl.ClockRoot))
+	if err := nl.WriteVerilog(&b); err != nil {
+		// strings.Builder writes cannot fail.
+		panic(err)
 	}
-	for _, p := range nl.Inputs {
-		portNames = append(portNames, p.Name)
-	}
-	for _, p := range nl.Outputs {
-		portNames = append(portNames, p.Name)
-	}
-	fmt.Fprintf(&b, "module %s (%s);\n", sanitize(nl.Name), strings.Join(portNames, ", "))
-	if nl.ClockRoot != NoNet {
-		fmt.Fprintf(&b, "  input wire %s;\n", nl.NetName(nl.ClockRoot))
-	}
-	for _, p := range nl.Inputs {
-		fmt.Fprintf(&b, "  input wire %s %s;\n", rangeDecl(len(p.Bits)), p.Name)
-	}
-	for _, p := range nl.Outputs {
-		fmt.Fprintf(&b, "  output wire %s %s;\n", rangeDecl(len(p.Bits)), p.Name)
-	}
-	if nl.NumNets > 0 {
-		fmt.Fprintf(&b, "  wire [%d:0] n;\n", nl.NumNets-1)
-	}
-	// Tie port nets to the flat wire vector.
-	if nl.ClockRoot != NoNet {
-		fmt.Fprintf(&b, "  assign n[%d] = %s;\n", nl.ClockRoot, nl.NetName(nl.ClockRoot))
-	}
-	for _, p := range nl.Inputs {
-		for i, net := range p.Bits {
-			fmt.Fprintf(&b, "  assign n[%d] = %s[%d];\n", net, p.Name, i)
-		}
-	}
-	for _, p := range nl.Outputs {
-		for i, net := range p.Bits {
-			fmt.Fprintf(&b, "  assign %s[%d] = n[%d];\n", p.Name, i, net)
-		}
-	}
-	for _, c := range nl.Cells {
-		b.WriteString("  ")
-		b.WriteString(cellVerilog(c))
-		b.WriteByte('\n')
-	}
-	b.WriteString("endmodule\n")
 	return b.String()
 }
 
-func rangeDecl(width int) string {
-	return fmt.Sprintf("[%d:0]", width-1)
+// WriteVerilog is the streaming form of Verilog: it emits the module
+// straight to w without materializing the whole text, so a million-cell
+// netlist exports in one buffered pass with constant memory.
+func (nl *Netlist) WriteVerilog(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 64*1024)
+	bw.WriteString("module ")
+	bw.WriteString(sanitize(nl.Name))
+	bw.WriteString(" (")
+	first := true
+	port := func(name string) {
+		if !first {
+			bw.WriteString(", ")
+		}
+		first = false
+		bw.WriteString(name)
+	}
+	if nl.ClockRoot != NoNet {
+		port(nl.NetName(nl.ClockRoot))
+	}
+	for _, p := range nl.Inputs {
+		port(p.Name)
+	}
+	for _, p := range nl.Outputs {
+		port(p.Name)
+	}
+	bw.WriteString(");\n")
+	if nl.ClockRoot != NoNet {
+		fmt.Fprintf(bw, "  input wire %s;\n", nl.NetName(nl.ClockRoot))
+	}
+	for _, p := range nl.Inputs {
+		fmt.Fprintf(bw, "  input wire [%d:0] %s;\n", len(p.Bits)-1, p.Name)
+	}
+	for _, p := range nl.Outputs {
+		fmt.Fprintf(bw, "  output wire [%d:0] %s;\n", len(p.Bits)-1, p.Name)
+	}
+	if nl.NumNets > 0 {
+		fmt.Fprintf(bw, "  wire [%d:0] n;\n", nl.NumNets-1)
+	}
+	// Tie port nets to the flat wire vector.
+	if nl.ClockRoot != NoNet {
+		fmt.Fprintf(bw, "  assign n[%d] = %s;\n", nl.ClockRoot, nl.NetName(nl.ClockRoot))
+	}
+	for _, p := range nl.Inputs {
+		for i, net := range p.Bits {
+			fmt.Fprintf(bw, "  assign n[%d] = %s[%d];\n", net, p.Name, i)
+		}
+	}
+	for _, p := range nl.Outputs {
+		for i, net := range p.Bits {
+			fmt.Fprintf(bw, "  assign %s[%d] = n[%d];\n", p.Name, i, net)
+		}
+	}
+	var scratch []byte
+	for i := range nl.Cells {
+		bw.WriteString("  ")
+		scratch = writeCellVerilog(bw, &nl.Cells[i], scratch)
+		bw.WriteByte('\n')
+	}
+	bw.WriteString("endmodule\n")
+	return bw.Flush()
 }
 
 func sanitize(s string) string {
@@ -75,48 +97,140 @@ func sanitize(s string) string {
 	}, s)
 }
 
-func cellVerilog(c Cell) string {
-	n := func(id NetID) string { return fmt.Sprintf("n[%d]", id) }
+// writeCellVerilog emits one cell line without per-cell allocation (the
+// scratch buffer is threaded through for net-reference formatting). The
+// textual forms are load-bearing: ParseVerilog matches them exactly, and
+// the round-trip fuzz contract requires a textual fixed point.
+func writeCellVerilog(bw *bufio.Writer, c *Cell, scratch []byte) []byte {
+	n := func(id NetID) {
+		scratch = append(scratch[:0], 'n', '[')
+		scratch = strconv.AppendInt(scratch, int64(id), 10)
+		scratch = append(scratch, ']')
+		bw.Write(scratch)
+	}
+	binary := func(op string) {
+		bw.WriteString("assign ")
+		n(c.Out)
+		bw.WriteString(" = ")
+		n(c.In[0])
+		bw.WriteString(op)
+		n(c.In[1])
+	}
+	negBinary := func(op string) {
+		bw.WriteString("assign ")
+		n(c.Out)
+		bw.WriteString(" = ~(")
+		n(c.In[0])
+		bw.WriteString(op)
+		n(c.In[1])
+		bw.WriteString(")")
+	}
+	comment := func(prefix string) {
+		bw.WriteString("; // ")
+		bw.WriteString(prefix)
+		bw.WriteString(c.Name)
+	}
 	switch c.Kind {
 	case cell.TIE0:
-		return fmt.Sprintf("assign %s = 1'b0; // %s", n(c.Out), c.Name)
+		bw.WriteString("assign ")
+		n(c.Out)
+		bw.WriteString(" = 1'b0")
+		comment("")
 	case cell.TIE1:
-		return fmt.Sprintf("assign %s = 1'b1; // %s", n(c.Out), c.Name)
-	case cell.BUF:
-		return fmt.Sprintf("assign %s = %s; // %s", n(c.Out), n(c.In[0]), c.Name)
-	case cell.INV:
-		return fmt.Sprintf("assign %s = ~%s; // %s", n(c.Out), n(c.In[0]), c.Name)
-	case cell.AND2:
-		return fmt.Sprintf("assign %s = %s & %s; // %s", n(c.Out), n(c.In[0]), n(c.In[1]), c.Name)
-	case cell.OR2:
-		return fmt.Sprintf("assign %s = %s | %s; // %s", n(c.Out), n(c.In[0]), n(c.In[1]), c.Name)
-	case cell.NAND2:
-		return fmt.Sprintf("assign %s = ~(%s & %s); // %s", n(c.Out), n(c.In[0]), n(c.In[1]), c.Name)
-	case cell.NOR2:
-		return fmt.Sprintf("assign %s = ~(%s | %s); // %s", n(c.Out), n(c.In[0]), n(c.In[1]), c.Name)
-	case cell.XOR2:
-		return fmt.Sprintf("assign %s = %s ^ %s; // %s", n(c.Out), n(c.In[0]), n(c.In[1]), c.Name)
-	case cell.XNOR2:
-		return fmt.Sprintf("assign %s = ~(%s ^ %s); // %s", n(c.Out), n(c.In[0]), n(c.In[1]), c.Name)
-	case cell.MUX2:
-		return fmt.Sprintf("assign %s = %s ? %s : %s; // %s", n(c.Out), n(c.In[2]), n(c.In[1]), n(c.In[0]), c.Name)
-	case cell.AOI21:
-		return fmt.Sprintf("assign %s = ~((%s & %s) | %s); // %s", n(c.Out), n(c.In[0]), n(c.In[1]), n(c.In[2]), c.Name)
-	case cell.OAI21:
-		return fmt.Sprintf("assign %s = ~((%s | %s) & %s); // %s", n(c.Out), n(c.In[0]), n(c.In[1]), n(c.In[2]), c.Name)
-	case cell.DFF:
-		init := "1'b0"
-		if c.Init {
-			init = "1'b1"
+		bw.WriteString("assign ")
+		n(c.Out)
+		bw.WriteString(" = 1'b1")
+		comment("")
+	case cell.BUF, cell.CLKBUF:
+		bw.WriteString("assign ")
+		n(c.Out)
+		bw.WriteString(" = ")
+		n(c.In[0])
+		if c.Kind == cell.CLKBUF {
+			comment("clkbuf ")
+		} else {
+			comment("")
 		}
-		return fmt.Sprintf("dff #(.INIT(%s)) %s (.clk(%s), .d(%s), .q(%s));",
-			init, sanitize(c.Name), n(c.Clk), n(c.In[0]), n(c.Out))
-	case cell.CLKBUF:
-		return fmt.Sprintf("assign %s = %s; // clkbuf %s", n(c.Out), n(c.In[0]), c.Name)
+	case cell.INV:
+		bw.WriteString("assign ")
+		n(c.Out)
+		bw.WriteString(" = ~")
+		n(c.In[0])
+		comment("")
+	case cell.AND2:
+		binary(" & ")
+		comment("")
+	case cell.OR2:
+		binary(" | ")
+		comment("")
+	case cell.XOR2:
+		binary(" ^ ")
+		comment("")
+	case cell.NAND2:
+		negBinary(" & ")
+		comment("")
+	case cell.NOR2:
+		negBinary(" | ")
+		comment("")
+	case cell.XNOR2:
+		negBinary(" ^ ")
+		comment("")
+	case cell.MUX2:
+		bw.WriteString("assign ")
+		n(c.Out)
+		bw.WriteString(" = ")
+		n(c.In[2])
+		bw.WriteString(" ? ")
+		n(c.In[1])
+		bw.WriteString(" : ")
+		n(c.In[0])
+		comment("")
+	case cell.AOI21:
+		bw.WriteString("assign ")
+		n(c.Out)
+		bw.WriteString(" = ~((")
+		n(c.In[0])
+		bw.WriteString(" & ")
+		n(c.In[1])
+		bw.WriteString(") | ")
+		n(c.In[2])
+		bw.WriteString(")")
+		comment("")
 	case cell.CLKGATE:
-		return fmt.Sprintf("assign %s = %s & %s; // clkgate %s", n(c.Out), n(c.In[0]), n(c.In[1]), c.Name)
+		binary(" & ")
+		comment("clkgate ")
+	case cell.OAI21:
+		bw.WriteString("assign ")
+		n(c.Out)
+		bw.WriteString(" = ~((")
+		n(c.In[0])
+		bw.WriteString(" | ")
+		n(c.In[1])
+		bw.WriteString(") & ")
+		n(c.In[2])
+		bw.WriteString(")")
+		comment("")
+	case cell.DFF:
+		bw.WriteString("dff #(.INIT(1'b")
+		if c.Init {
+			bw.WriteByte('1')
+		} else {
+			bw.WriteByte('0')
+		}
+		bw.WriteString(")) ")
+		bw.WriteString(sanitize(c.Name))
+		bw.WriteString(" (.clk(")
+		n(c.Clk)
+		bw.WriteString("), .d(")
+		n(c.In[0])
+		bw.WriteString("), .q(")
+		n(c.Out)
+		bw.WriteString("));")
+	default:
+		bw.WriteString("// unknown cell ")
+		bw.WriteString(c.Name)
 	}
-	return "// unknown cell " + c.Name
+	return scratch
 }
 
 // DOT renders the netlist in Graphviz dot format for visual debugging.

@@ -99,9 +99,15 @@ func findPort(ports []Port, name string) (Port, bool) {
 
 // DFFs returns the IDs of all flip-flops, in cell order.
 func (nl *Netlist) DFFs() []CellID {
-	var out []CellID
-	for i, c := range nl.Cells {
-		if c.Kind == cell.DFF {
+	n := 0
+	for i := range nl.Cells {
+		if nl.Cells[i].Kind == cell.DFF {
+			n++
+		}
+	}
+	out := make([]CellID, 0, n)
+	for i := range nl.Cells {
+		if nl.Cells[i].Kind == cell.DFF {
 			out = append(out, CellID(i))
 		}
 	}
@@ -187,7 +193,9 @@ func contains(nets []NetID, n NetID) bool {
 }
 
 // Clone returns a deep structural copy that can be mutated by
-// instrumentation passes without affecting the original.
+// instrumentation passes without affecting the original. All input-pin
+// slices of the copy share one backing slab, so cloning a million-cell
+// netlist costs a handful of allocations, not one per cell.
 func (nl *Netlist) Clone() *Netlist {
 	c := &Netlist{
 		Name:      nl.Name,
@@ -200,8 +208,17 @@ func (nl *Netlist) Clone() *Netlist {
 		topo:      append([]CellID(nil), nl.topo...),
 		netNames:  make(map[NetID]string, len(nl.netNames)),
 	}
+	total := 0
+	for i := range nl.Cells {
+		total += len(nl.Cells[i].In)
+	}
+	slab := make([]NetID, 0, total)
 	for i, cc := range nl.Cells {
-		cc.In = append([]NetID(nil), cc.In...)
+		if len(cc.In) > 0 {
+			lo := len(slab)
+			slab = append(slab, cc.In...)
+			cc.In = slab[lo:len(slab):len(slab)]
+		}
 		c.Cells[i] = cc
 	}
 	for k, v := range nl.netNames {
@@ -230,17 +247,23 @@ type Stats struct {
 // Stats computes summary counts.
 func (nl *Netlist) Stats() Stats {
 	s := Stats{Cells: len(nl.Cells), Nets: nl.NumNets}
-	for _, c := range nl.Cells {
-		switch {
-		case c.Kind.IsSequential():
+	for i := range nl.Cells {
+		switch k := nl.Cells[i].Kind; {
+		case k.IsSequential():
 			s.DFFs++
-		case c.Kind.IsClock():
+		case k.IsClock():
 			s.ClockCells++
 		default:
 			s.Comb++
 		}
 	}
 	return s
+}
+
+// String renders the stats in the one-line form used by the cmds.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d cells (%d dff, %d clock, %d comb), %d nets",
+		s.Cells, s.DFFs, s.ClockCells, s.Comb, s.Nets)
 }
 
 // sortCells orders cell IDs ascending (used to make traversal output

@@ -1,0 +1,185 @@
+package netlist
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/cell"
+)
+
+// gateZoo builds a netlist exercising every cell kind and both clock-cell
+// comment markers.
+func gateZoo(t *testing.T) *Netlist {
+	t.Helper()
+	b := NewBuilder("zoo")
+	clk := b.Clock("clk")
+	x := b.Input("x")
+	y := b.Input("y")
+	s := b.Input("s")
+	cb := b.Add(cell.CLKBUF, clk)
+	g := b.Add(cell.CLKGATE, cb, s)
+	outs := Bus{
+		b.Add(cell.AND2, x, y), b.Add(cell.OR2, x, y), b.Add(cell.XOR2, x, y),
+		b.Add(cell.NAND2, x, y), b.Add(cell.NOR2, x, y), b.Add(cell.XNOR2, x, y),
+		b.Add(cell.INV, x), b.Add(cell.BUF, y),
+		b.Add(cell.MUX2, x, y, s),
+		b.Add(cell.AOI21, x, y, s), b.Add(cell.OAI21, x, y, s),
+		b.Add(cell.TIE0), b.Add(cell.TIE1),
+		b.AddDFFNamed("st", x, g, true),
+	}
+	b.OutputBus("o", outs)
+	return b.MustBuild()
+}
+
+// signature captures everything parse-order-sensitive about a netlist.
+func signature(nl *Netlist) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s nets=%d clk=%d\n", nl.Name, nl.NumNets, nl.ClockRoot)
+	for _, c := range nl.Cells {
+		fmt.Fprintf(&sb, "%v %s in=%v clk=%d out=%d init=%v\n", c.Kind, c.Name, c.In, c.Clk, c.Out, c.Init)
+	}
+	for _, p := range nl.Inputs {
+		fmt.Fprintf(&sb, "in %s %v\n", p.Name, p.Bits)
+	}
+	for _, p := range nl.Outputs {
+		fmt.Fprintf(&sb, "out %s %v\n", p.Name, p.Bits)
+	}
+	return sb.String()
+}
+
+// TestParseDeterminism is the regression test for the old map-ranged
+// operator matching: parse results and error messages must be stable
+// across repeated runs (map iteration order used to make both flicker).
+func TestParseDeterminism(t *testing.T) {
+	src := gateZoo(t).Verilog()
+	want := ""
+	for i := 0; i < 50; i++ {
+		nl, err := ParseVerilog(src)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		sig := signature(nl)
+		if i == 0 {
+			want = sig
+		} else if sig != want {
+			t.Fatalf("run %d: parse result differs from run 0:\n%s\nvs\n%s", i, sig, want)
+		}
+	}
+
+	bad := []string{
+		"module x (a);\nassign n[0] = n[1] & n[2] & n[3];\nendmodule\n",
+		"module x (a);\nassign n[0] = n[1] | n[2] ^ n[3];\nendmodule\n",
+		"module x (a);\nassign n[0] = ~(n[1] @ n[2]);\nendmodule\n",
+		"module x (a);\nassign n[0] = ~((n[1]&n[2])|x);\nendmodule\n",
+		"module x (a);\nassign n[0] = n[1] ? wat : n[2];\nendmodule\n",
+		"module x (a);\nassign n[0] = ~zzz;\nendmodule\n",
+		"module x (a);\nwat;\nendmodule\n",
+		"module x (a);\nassign wat = n[0];\nendmodule\n",
+		"module x (a);\ninput wire [99999:0] a;\nendmodule\n",
+	}
+	for _, src := range bad {
+		_, err := ParseVerilog(src)
+		if err == nil {
+			t.Errorf("accepted %q", src)
+			continue
+		}
+		for i := 0; i < 20; i++ {
+			_, err2 := ParseVerilog(src)
+			if err2 == nil || err2.Error() != err.Error() {
+				t.Fatalf("error message unstable for %q:\n%v\nvs\n%v", src, err, err2)
+			}
+		}
+	}
+}
+
+// TestParseVerilogReader checks the streaming entry point against the
+// string one, including under adversarially small reads.
+func TestParseVerilogReader(t *testing.T) {
+	nl := gateZoo(t)
+	src := nl.Verilog()
+	want := signature(mustParse(t, src))
+
+	chunked := &chunkReader{data: []byte(src), chunk: 7}
+	got, err := ParseVerilogReader(chunked)
+	if err != nil {
+		t.Fatalf("ParseVerilogReader: %v", err)
+	}
+	if signature(got) != want {
+		t.Error("streaming parse differs from string parse")
+	}
+}
+
+func mustParse(t *testing.T, src string) *Netlist {
+	t.Helper()
+	nl, err := ParseVerilog(src)
+	if err != nil {
+		t.Fatalf("ParseVerilog: %v", err)
+	}
+	return nl
+}
+
+type chunkReader struct {
+	data  []byte
+	chunk int
+}
+
+func (r *chunkReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, io.EOF
+	}
+	n := r.chunk
+	if n > len(r.data) {
+		n = len(r.data)
+	}
+	n = copy(p[:min(n, len(p))], r.data)
+	r.data = r.data[n:]
+	return n, nil
+}
+
+// TestWriteVerilogMatchesVerilog pins the streaming exporter to the
+// string exporter byte for byte.
+func TestWriteVerilogMatchesVerilog(t *testing.T) {
+	nl := gateZoo(t)
+	var buf bytes.Buffer
+	if err := nl.WriteVerilog(&buf); err != nil {
+		t.Fatalf("WriteVerilog: %v", err)
+	}
+	if buf.String() != nl.Verilog() {
+		t.Error("WriteVerilog and Verilog outputs differ")
+	}
+}
+
+// TestParseAllocsLinear guards the parse hot path: steady-state
+// allocations must stay a small constant per cell (arena slabs, interned
+// names, no per-line garbage).
+func TestParseAllocsLinear(t *testing.T) {
+	b := NewBuilder("wide")
+	clk := b.Clock("clk")
+	x := b.Input("x")
+	y := b.Input("y")
+	prev := b.Add(cell.XOR2, x, y)
+	for i := 0; i < 4000; i++ {
+		prev = b.Add(cell.Kind(int(cell.AND2)+i%6), prev, x)
+	}
+	q := b.AddDFF(prev, clk, false)
+	b.Output("o", q)
+	nl := b.MustBuild()
+	src := nl.Verilog()
+
+	per := testing.AllocsPerRun(5, func() {
+		if _, err := ParseVerilog(src); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Floor is ~1 alloc/cell: every unique instance name must be
+	// materialized as a string. Everything else (pins, net table, line
+	// buffers) amortizes into slabs.
+	cells := float64(len(nl.Cells))
+	if perCell := per / cells; perCell > 1.5 {
+		t.Errorf("parse allocates %.2f allocs/cell (%.0f total for %.0f cells); want <= 1.5",
+			perCell, per, cells)
+	}
+}

@@ -77,18 +77,24 @@ func AnalyzeCorners(nl *netlist.Netlist, cfg BatchConfig, corners []Corner) []*R
 	if scale == 0 {
 		scale = 1
 	}
-	maxPaths := cfg.MaxPaths
-	if maxPaths == 0 {
-		maxPaths = 200000
-	}
-	perEndpoint := cfg.PerEndpoint
-	if perEndpoint == 0 {
-		perEndpoint = 400
-	}
 
 	g := CachedGraph(nl)
+	libs := cornerLibs(nl.Name, cfg, corners)
 
-	// One characterization grid covers every aged corner.
+	st := newBatchState(g, K)
+	st.computeDelays(cfg, libs, scale)
+	st.computeClockArrivals()
+	st.propagate()
+	results := checkAndEnumerate(g, st, cfg, corners, libs, st.factorC, nil)
+	st.release() // walks are done; Results hold no views into the slab
+	return results
+}
+
+// cornerLibs derives every corner's aged library through one
+// aging.NewCornerGrid characterization (nil entries mark fresh corners).
+// Shared by the batched one-shot pass and the incremental engine.
+func cornerLibs(name string, cfg BatchConfig, corners []Corner) []*aging.Library {
+	K := len(corners)
 	libs := make([]*aging.Library, K)
 	anyAged := false
 	for _, c := range corners {
@@ -98,7 +104,7 @@ func AnalyzeCorners(nl *netlist.Netlist, cfg BatchConfig, corners []Corner) []*R
 	}
 	if anyAged {
 		if cfg.Model == nil || cfg.Profile == nil {
-			panic(fmt.Sprintf("sta: AnalyzeCorners on %s: aged corners need Model and Profile", nl.Name))
+			panic(fmt.Sprintf("sta: AnalyzeCorners on %s: aged corners need Model and Profile", name))
 		}
 		specs := make([]aging.CornerSpec, K)
 		for i, c := range corners {
@@ -109,11 +115,51 @@ func AnalyzeCorners(nl *netlist.Netlist, cfg BatchConfig, corners []Corner) []*R
 			libs[i] = grid.Library(i)
 		}
 	}
+	return libs
+}
 
-	st := newBatchState(g, K)
-	st.computeDelays(cfg, libs, scale)
-	st.computeClockArrivals()
-	st.propagate()
+// clockArrivalMaps builds one endpoint->clock-arrival map per corner
+// from the state's current clock lanes. The incremental engine caches
+// the returned maps across updates that leave the clock network's
+// delays untouched.
+func clockArrivalMaps(g *TimingGraph, st *batchState) []map[netlist.CellID]float64 {
+	maps := make([]map[netlist.CellID]float64, st.K)
+	// Fill each corner's map in its own pass so one map stays hot per
+	// loop instead of round-robining K maps per endpoint.
+	for k := 0; k < st.K; k++ {
+		m := make(map[netlist.CellID]float64, len(g.endpoints))
+		for ei := range g.endpoints {
+			e := &g.endpoints[ei]
+			m[e.cellID] = st.clk[int(e.clk)*st.K+k]
+		}
+		maps[k] = m
+	}
+	return maps
+}
+
+// checkAndEnumerate is the reporting half of a batched run: scan every
+// endpoint's slacks, enumerate the violating cones, and merge into one
+// Result per corner — without touching the propagation state, so the
+// incremental engine can call it repeatedly over a persistent state. The
+// factor columns to embed are passed in (the one-shot pass hands over
+// its own, the incremental engine hands fresh copies so later updates
+// cannot mutate escaped Results); clockMaps, when non-nil, supplies
+// prebuilt per-corner clock-arrival maps to share instead of building.
+func checkAndEnumerate(g *TimingGraph, st *batchState, cfg BatchConfig, corners []Corner,
+	libs []*aging.Library, factorC [][]float64, clockMaps []map[netlist.CellID]float64) []*Result {
+
+	K := len(corners)
+	maxPaths := cfg.MaxPaths
+	if maxPaths == 0 {
+		maxPaths = 200000
+	}
+	perEndpoint := cfg.PerEndpoint
+	if perEndpoint == 0 {
+		perEndpoint = 400
+	}
+	if clockMaps == nil {
+		clockMaps = clockArrivalMaps(g, st)
+	}
 
 	results := make([]*Result, K)
 	for k := 0; k < K; k++ {
@@ -133,18 +179,8 @@ func AnalyzeCorners(nl *netlist.Netlist, cfg BatchConfig, corners []Corner) []*R
 			Config:       rcfg,
 			WNSSetup:     inf,
 			WNSHold:      inf,
-			Factor:       st.factorC[k],
-			ClockArrival: make(map[netlist.CellID]float64, len(g.endpoints)),
-		}
-	}
-
-	// Fill each corner's clock-arrival map in its own pass so one map
-	// stays hot per loop instead of round-robining K maps per endpoint.
-	for k := 0; k < K; k++ {
-		m := results[k].ClockArrival
-		for ei := range g.endpoints {
-			e := &g.endpoints[ei]
-			m[e.cellID] = st.clk[int(e.clk)*K+k]
+			Factor:       factorC[k],
+			ClockArrival: clockMaps[k],
 		}
 	}
 
@@ -214,7 +250,6 @@ func AnalyzeCorners(nl *netlist.Netlist, cfg BatchConfig, corners []Corner) []*R
 	if err != nil {
 		panic(err) // only a recovered worker panic can land here
 	}
-	st.release() // walks are done; records hold no views into the slab
 
 	// Merge per corner in scan order — endpoint order, setup before hold
 	// — applying each corner's global budget exactly as the scalar
@@ -921,54 +956,121 @@ func (st *batchState) propagate() {
 			an[k] = ck[k] + dn[k]
 		}
 	}
-	hiS, loS := st.hiS, st.loS
 	for i := range g.combOps {
-		op := &g.combOps[i]
-		lo, hi := g.cellInLo[op.cellID], g.cellInLo[op.cellID+1]
-		ob, cb := int(op.out)*K, int(op.cellID)*K
-		om := st.arrMax[ob : ob+K : ob+K]
-		on := st.arrMin[ob : ob+K : ob+K]
-		dx := st.dmax[cb : cb+K]
-		dn := st.dmin[cb : cb+K]
-		ab := int(g.cellIn[lo]) * K
-		am := st.arrMax[ab : ab+K]
-		an := st.arrMin[ab : ab+K]
-		switch hi - lo {
-		case 1:
-			for k := range om {
-				om[k] = am[k] + dx[k]
-				on[k] = an[k] + dn[k]
+		st.propOp(i)
+	}
+}
+
+// propOp re-evaluates one combinational op's output arrivals from its
+// current input arrivals and delay lanes. It is the single propagation
+// kernel: the full pass above calls it for every op in topo order, and
+// the incremental worklist (incremental.go) calls it for exactly the
+// dirty cone — same code, so re-evaluated lanes are bitwise what a full
+// pass would write.
+func (st *batchState) propOp(i int) {
+	g, K := st.g, st.K
+	hiS, loS := st.hiS, st.loS
+	op := &g.combOps[i]
+	lo, hi := g.cellInLo[op.cellID], g.cellInLo[op.cellID+1]
+	ob, cb := int(op.out)*K, int(op.cellID)*K
+	om := st.arrMax[ob : ob+K : ob+K]
+	on := st.arrMin[ob : ob+K : ob+K]
+	dx := st.dmax[cb : cb+K]
+	dn := st.dmin[cb : cb+K]
+	ab := int(g.cellIn[lo]) * K
+	am := st.arrMax[ab : ab+K]
+	an := st.arrMin[ab : ab+K]
+	switch hi - lo {
+	case 1:
+		for k := range om {
+			om[k] = am[k] + dx[k]
+			on[k] = an[k] + dn[k]
+		}
+	case 2:
+		bb := int(g.cellIn[lo+1]) * K
+		bm := st.arrMax[bb : bb+K]
+		bn := st.arrMin[bb : bb+K]
+		// The builtin max/min lower to branchless MAXSD/MINSD here.
+		// On this loop's domain (finite non-negative sums and the
+		// ±Inf sentinels, never NaN or −0) they agree bit-for-bit
+		// with the scalar engine's compare-and-assign.
+		for k := range om {
+			om[k] = max(am[k], bm[k]) + dx[k]
+			on[k] = min(an[k], bn[k]) + dn[k]
+		}
+	default:
+		copy(hiS, am)
+		copy(loS, an)
+		for j := lo + 1; j < hi; j++ {
+			ib := int(g.cellIn[j]) * K
+			im := st.arrMax[ib : ib+K]
+			in := st.arrMin[ib : ib+K]
+			for k, v := range im {
+				hiS[k] = max(hiS[k], v)
 			}
-		case 2:
-			bb := int(g.cellIn[lo+1]) * K
-			bm := st.arrMax[bb : bb+K]
-			bn := st.arrMin[bb : bb+K]
-			// The builtin max/min lower to branchless MAXSD/MINSD here.
-			// On this loop's domain (finite non-negative sums and the
-			// ±Inf sentinels, never NaN or −0) they agree bit-for-bit
-			// with the scalar engine's compare-and-assign.
-			for k := range om {
-				om[k] = max(am[k], bm[k]) + dx[k]
-				on[k] = min(an[k], bn[k]) + dn[k]
-			}
-		default:
-			copy(hiS, am)
-			copy(loS, an)
-			for j := lo + 1; j < hi; j++ {
-				ib := int(g.cellIn[j]) * K
-				im := st.arrMax[ib : ib+K]
-				in := st.arrMin[ib : ib+K]
-				for k, v := range im {
-					hiS[k] = max(hiS[k], v)
-				}
-				for k, v := range in {
-					loS[k] = min(loS[k], v)
-				}
-			}
-			for k := range om {
-				om[k] = hiS[k] + dx[k]
-				on[k] = loS[k] + dn[k]
+			for k, v := range in {
+				loS[k] = min(loS[k], v)
 			}
 		}
+		for k := range om {
+			om[k] = hiS[k] + dx[k]
+			on[k] = loS[k] + dn[k]
+		}
+	}
+}
+
+// delaysForCell recomputes one cell's factor and delay lanes — the
+// incremental engine's per-cell form of computeDelays. It must mirror
+// computeDelays bitwise: same interpolation expression over the same
+// tabulated values in the same order (the grid SoA re-layout copies
+// values verbatim, so reading the library rows directly interpolates the
+// identical operands). The differential tests and FuzzIncrementalSTA
+// hold the two to byte-identical Results.
+func (st *batchState) delaysForCell(cfg BatchConfig, libs []*aging.Library, scale float64, anyAged bool, i int) {
+	g, K := st.g, st.K
+	t := cfg.Base.Timing[g.kind[i]]
+	base := i * K
+	dn := st.dmin[base : base+K : base+K]
+	dx := st.dmax[base : base+K : base+K]
+	if !anyAged {
+		for k := range dn {
+			st.factorFlat[k*g.numCells+i] = 1
+			dn[k] = t.DelayMin * scale
+			dx[k] = t.DelayMax * scale
+		}
+		return
+	}
+	var sp float64
+	if cfg.Profile != nil {
+		sp = cfg.Profile.SP[g.outNet[i]]
+	}
+	for k, lib := range libs {
+		if lib == nil {
+			st.factorFlat[k*g.numCells+i] = 1
+			dn[k] = t.DelayMin * scale
+			dx[k] = t.DelayMax * scale
+			continue
+		}
+		row := lib.FactorRow(g.kind[i])
+		last := len(row) - 1
+		var s0, s1, omf, frac float64
+		if sp <= 0 || sp >= 1 {
+			ci := 0
+			if sp >= 1 {
+				ci = last
+			}
+			s0, s1 = row[ci], row[ci]
+			omf, frac = 1, 0
+		} else {
+			pos := sp * float64(last)
+			i0 := int(pos)
+			frac = pos - float64(i0)
+			omf = 1 - frac
+			s0, s1 = row[i0], row[i0+1]
+		}
+		f := s0*omf + s1*frac
+		st.factorFlat[k*g.numCells+i] = f
+		dn[k] = t.DelayMin * f * scale
+		dx[k] = t.DelayMax * f * scale
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/aging"
 	"repro/internal/cell"
+	"repro/internal/netlist"
 )
 
 // FuzzBatchedVsScalar lets the fuzzer pick a random timed netlist (via
@@ -53,6 +54,54 @@ func FuzzBatchedVsScalar(f *testing.F) {
 			if !reflect.DeepEqual(got[k], want[k]) {
 				t.Fatalf("corner %d (%+v) diverges:\n  batched: %+v\n  scalar:  %+v",
 					k, corners[k], got[k], want[k])
+			}
+		}
+	})
+}
+
+// FuzzIncrementalSTA holds the incremental re-timing engine to
+// byte-identical Results against from-scratch AnalyzeCorners across
+// fuzzer-chosen netlists, corner sets, SP-delta sequences and corner
+// moves — the cone worklist, the clock-network invalidation and the
+// adjacent-corner SetCorners path all under one differential oracle.
+func FuzzIncrementalSTA(f *testing.F) {
+	f.Add(int64(1), byte(2), byte(3), byte(0))
+	f.Add(int64(7), byte(1), byte(9), byte(1))
+	f.Add(int64(42), byte(5), byte(1), byte(2))
+	f.Add(int64(1234), byte(3), byte(30), byte(3))
+	f.Fuzz(func(t *testing.T, seed int64, rounds, deltas, mode byte) {
+		nl, cfg, corners := randomCase(seed % 4096)
+		rng := rand.New(rand.NewSource(seed ^ int64(mode)))
+		inc := NewIncremental(nl, cfg, corners)
+		defer inc.Close()
+		if got, want := inc.Results(), AnalyzeCorners(nl, cfg, corners); !reflect.DeepEqual(got, want) {
+			t.Fatal("initial incremental Results diverge from AnalyzeCorners")
+		}
+		for round := 0; round < 1+int(rounds)%6; round++ {
+			if mode%3 == 2 && round%2 == 1 {
+				// Corner move: jitter every corner's lifetime, same set size.
+				next := make([]Corner, len(corners))
+				for i, c := range corners {
+					next[i] = c
+					next[i].Years = c.Years * (0.5 + rng.Float64())
+				}
+				corners = next
+				got := inc.SetCorners(next)
+				if want := AnalyzeCorners(nl, cfg, next); !reflect.DeepEqual(got, want) {
+					t.Fatalf("round %d: SetCorners diverges from full analysis", round)
+				}
+				continue
+			}
+			n := 1 + int(deltas)%8
+			changed := make([]netlist.NetID, 0, n)
+			for i := 0; i < n; i++ {
+				net := netlist.NetID(rng.Intn(nl.NumNets))
+				cfg.Profile.SP[net] = rng.Float64()
+				changed = append(changed, net)
+			}
+			got := inc.UpdateSP(changed)
+			if want := AnalyzeCorners(nl, cfg, corners); !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d: incremental diverges after %d SP deltas", round, n)
 			}
 		}
 	})

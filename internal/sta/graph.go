@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/cell"
+	"repro/internal/lru"
 	"repro/internal/netlist"
 )
 
@@ -83,6 +84,18 @@ type TimingGraph struct {
 	// Cell kinds the netlist actually instantiates. The corner-major
 	// characterization grid is only materialized for these rows.
 	usedKinds []cell.Kind
+
+	// Incremental re-timing support (incremental.go). combPos maps each
+	// cell to its position in combOps (-1 for non-combinational cells);
+	// the fanout CSR lists, per net, the combOps positions reading it
+	// through a data pin: net n's readers are fanOp[fanLo[n]:fanLo[n+1]].
+	// Positions rather than cell IDs, because the incremental worklist is
+	// ordered by topological position — a reader's position is always
+	// greater than its driver's, so an ascending drain re-evaluates every
+	// cone member exactly once.
+	combPos []int32
+	fanLo   []int32
+	fanOp   []int32
 }
 
 // CompileGraph lowers a netlist into its timing graph.
@@ -180,21 +193,54 @@ func CompileGraph(nl *netlist.Netlist) *TimingGraph {
 	for i := range g.endpoints {
 		addRoot(g.endpoints[i].clk)
 	}
+
+	// Fanout CSR for incremental re-timing: two counting passes, no
+	// per-net slice churn. A net read through several pins of one cell
+	// appears once per pin; the worklist's dirty bitmap makes duplicates
+	// harmless.
+	g.combPos = make([]int32, g.numCells)
+	for i := range g.combPos {
+		g.combPos[i] = -1
+	}
+	for p := range g.combOps {
+		g.combPos[g.combOps[p].cellID] = int32(p)
+	}
+	g.fanLo = make([]int32, g.numNets+1)
+	for p := range g.combOps {
+		cid := g.combOps[p].cellID
+		for j := g.cellInLo[cid]; j < g.cellInLo[cid+1]; j++ {
+			g.fanLo[g.cellIn[j]+1]++
+		}
+	}
+	for n := 0; n < g.numNets; n++ {
+		g.fanLo[n+1] += g.fanLo[n]
+	}
+	g.fanOp = make([]int32, g.fanLo[g.numNets])
+	cursor := make([]int32, g.numNets)
+	copy(cursor, g.fanLo[:g.numNets])
+	for p := range g.combOps {
+		cid := g.combOps[p].cellID
+		for j := g.cellInLo[cid]; j < g.cellInLo[cid+1]; j++ {
+			n := g.cellIn[j]
+			g.fanOp[cursor[n]] = int32(p)
+			cursor[n]++
+		}
+	}
 	return g
 }
 
 // The graph cache keys compiled timing graphs by netlist identity, the
 // same contract as engine's program cache: netlists are immutable after
-// Build, so pointer identity is sound, and the cache is bounded — at
-// graphCacheCap entries it is wiped and rebuilt from demand (transient
-// instrumented netlists must not grow it without bound). Eviction only
+// Build, so pointer identity is sound, and the cache is a bounded LRU —
+// transient instrumented netlists cycle through the cold end while the
+// module netlists every sweep revisits stay resident. Eviction only
 // costs a recompile, never correctness.
 const graphCacheCap = 512
 
 var graphCache = struct {
 	sync.Mutex
-	m map[*netlist.Netlist]*TimingGraph
-}{m: make(map[*netlist.Netlist]*TimingGraph)}
+	c *lru.Cache[*netlist.Netlist, *TimingGraph]
+}{c: lru.New[*netlist.Netlist, *TimingGraph](graphCacheCap)}
 
 // CachedGraph returns the compiled timing graph for nl, compiling and
 // memoizing it on first use. Safe for concurrent use; the returned graph
@@ -202,14 +248,11 @@ var graphCache = struct {
 func CachedGraph(nl *netlist.Netlist) *TimingGraph {
 	graphCache.Lock()
 	defer graphCache.Unlock()
-	if g, ok := graphCache.m[nl]; ok {
+	if g, ok := graphCache.c.Get(nl); ok {
 		return g
 	}
-	if len(graphCache.m) >= graphCacheCap {
-		graphCache.m = make(map[*netlist.Netlist]*TimingGraph)
-	}
 	g := CompileGraph(nl)
-	graphCache.m[nl] = g
+	graphCache.c.Add(nl, g)
 	return g
 }
 
@@ -217,5 +260,13 @@ func CachedGraph(nl *netlist.Netlist) *TimingGraph {
 func GraphCacheSize() int {
 	graphCache.Lock()
 	defer graphCache.Unlock()
-	return len(graphCache.m)
+	return graphCache.c.Len()
+}
+
+// GraphCacheStats snapshots the graph cache's hit/miss/eviction
+// counters.
+func GraphCacheStats() lru.Stats {
+	graphCache.Lock()
+	defer graphCache.Unlock()
+	return graphCache.c.Stats()
 }

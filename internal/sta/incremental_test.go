@@ -1,0 +1,169 @@
+package sta
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/aging"
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// perturbSP mutates nDeltas random nets' signal probabilities in place
+// and returns the changed net IDs (with deliberate duplicates left in:
+// UpdateSP must tolerate a net reported twice).
+func perturbSP(nl *netlist.Netlist, cfg BatchConfig, rng *rand.Rand, nDeltas int) []netlist.NetID {
+	changed := make([]netlist.NetID, 0, nDeltas)
+	for i := 0; i < nDeltas; i++ {
+		n := netlist.NetID(rng.Intn(nl.NumNets))
+		cfg.Profile.SP[n] = rng.Float64()
+		changed = append(changed, n)
+	}
+	return changed
+}
+
+// TestIncrementalMatchesFull is the incremental engine's differential
+// contract: after any sequence of sparse SP updates, Results must
+// deep-equal a from-scratch AnalyzeCorners over the same mutated
+// profile. DeepEqual compares float64s with ==, so this is bit-identity.
+func TestIncrementalMatchesFull(t *testing.T) {
+	prop := func(seed int64) bool {
+		nl, cfg, corners := randomCase(seed)
+		rng := rand.New(rand.NewSource(seed ^ 0x1ec))
+		inc := NewIncremental(nl, cfg, corners)
+		defer inc.Close()
+
+		if got, want := inc.Results(), AnalyzeCorners(nl, cfg, corners); !reflect.DeepEqual(got, want) {
+			t.Logf("seed %d: initial Results diverge from AnalyzeCorners", seed)
+			return false
+		}
+		for round := 0; round < 4; round++ {
+			changed := perturbSP(nl, cfg, rng, 1+rng.Intn(5))
+			got := inc.UpdateSP(changed)
+			want := AnalyzeCorners(nl, cfg, corners)
+			if !reflect.DeepEqual(got, want) {
+				t.Logf("seed %d round %d: incremental diverges after %d SP deltas", seed, round, len(changed))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIncrementalClockCone forces the expensive invalidation path:
+// changing the SP of clock-cell outputs ages the clock network
+// differently, which shifts every endpoint's launch and required times.
+func TestIncrementalClockCone(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		nl, cfg, corners := randomCase(seed)
+		inc := NewIncremental(nl, cfg, corners)
+		var clkNets []netlist.NetID
+		for _, c := range nl.Cells {
+			if c.Kind.IsClock() {
+				clkNets = append(clkNets, c.Out)
+			}
+		}
+		if len(clkNets) == 0 {
+			inc.Close()
+			continue
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for _, n := range clkNets {
+			cfg.Profile.SP[n] = rng.Float64()
+		}
+		got := inc.UpdateSP(clkNets)
+		want := AnalyzeCorners(nl, cfg, corners)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("seed %d: clock-cone update diverges from full analysis", seed)
+		}
+		inc.Close()
+	}
+}
+
+// TestIncrementalSetCorners checks the adjacent-corner path the onset
+// bisection rides: moving a live Incremental across corner sets must
+// reproduce a from-scratch analysis of each set.
+func TestIncrementalSetCorners(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		nl := randomTimedNetlist(seed)
+		lib := cell.Lib28()
+		cfg := BatchConfig{
+			PeriodPs: CriticalDelay(nl, lib) * 0.9,
+			Base:     lib,
+			Model:    aging.Default(),
+			Profile:  randomNetSP(nl, seed+1),
+		}
+		corners := []Corner{{Years: 5}, {}}
+		inc := NewIncremental(nl, cfg, corners)
+		for _, next := range [][]Corner{
+			{{Years: 5.5}, {}},                     // adjacent aged corner
+			{{Years: 5.5}, {Years: 1}},             // fresh lane ages
+			{{}, {}},                               // everything fresh
+			{{Years: 10, TempK: 350}, {Years: 10}}, // temperature override
+		} {
+			got := inc.SetCorners(next)
+			want := AnalyzeCorners(nl, cfg, next)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d: SetCorners(%+v) diverges from full analysis", seed, next)
+			}
+		}
+		inc.Close()
+	}
+}
+
+// TestIncrementalResultsAreStable pins the escape contract: a Result
+// returned before an update must not be mutated by the update (factor
+// columns are copies, clock maps are rebuilt on clock changes).
+func TestIncrementalResultsAreStable(t *testing.T) {
+	nl, cfg, corners := randomCase(3)
+	inc := NewIncremental(nl, cfg, corners)
+	defer inc.Close()
+	before := inc.Results()
+	snapshot := make([]float64, len(before[0].Factor))
+	copy(snapshot, before[0].Factor)
+
+	rng := rand.New(rand.NewSource(9))
+	for round := 0; round < 3; round++ {
+		inc.UpdateSP(perturbSP(nl, cfg, rng, 8))
+	}
+	if !reflect.DeepEqual(before[0].Factor, snapshot) {
+		t.Error("an update mutated a previously returned Result's Factor column")
+	}
+}
+
+// TestIncrementalConeIsSparse is the point of the whole path: a single
+// SP delta on a large design must re-time a small fraction of the
+// combinational ops, not the whole netlist.
+func TestIncrementalConeIsSparse(t *testing.T) {
+	nl := randomTimedNetlist(7)
+	lib := cell.Lib28()
+	cfg := BatchConfig{
+		PeriodPs: CriticalDelay(nl, lib) * 2, // relaxed: no violations, pure retiming cost
+		Base:     lib,
+		Model:    aging.Default(),
+		Profile:  randomNetSP(nl, 8),
+	}
+	corners := []Corner{{Years: 10}}
+	inc := NewIncremental(nl, cfg, corners)
+	defer inc.Close()
+	total := len(CachedGraph(nl).combOps)
+	if inc.LastRetimed != total {
+		t.Fatalf("initial pass retimed %d of %d ops", inc.LastRetimed, total)
+	}
+	// An update with no SP change retimes nothing.
+	inc.UpdateSP(nil)
+	if inc.LastRetimed != 0 {
+		t.Errorf("empty update retimed %d ops", inc.LastRetimed)
+	}
+	// A no-op "change" (same value written back) retimes nothing either:
+	// the delay lanes are bitwise unchanged.
+	inc.UpdateSP([]netlist.NetID{0})
+	if inc.LastRetimed != 0 {
+		t.Errorf("bitwise-identical SP write retimed %d ops", inc.LastRetimed)
+	}
+}

@@ -1,0 +1,224 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// Pipeline is a parametric pipelined-core generator in the CV32E40P
+// style: per-lane instruction registers, a private register file with
+// one-hot read selectors, an operand-forwarding network off the in-flight
+// stage registers, and a chain of execute stages (carry-select adder,
+// subtractor, logic unit, shifter behind a one-hot result selector), all
+// clocked from a buffered clock tree. It exists so tests and benches can
+// synthesize realistic sequential designs of 10^4 to 10^6 cells on
+// demand instead of grading everything on the two toy datapaths.
+//
+// The instruction encoding is structural, not architectural: op selects
+// the execute result, rd/rs1/rs2 address the register file, and every
+// lane mixes the shared instruction word with its lane index so lanes
+// are distinct cell populations with distinct signal probabilities.
+type Pipeline struct {
+	// Stages is the number of pipeline stages (>= 2): one decode stage
+	// plus Stages-1 execute stages.
+	Stages int
+	// Width is the datapath width in bits (>= 2).
+	Width int
+	// Lanes is the number of parallel execution lanes (>= 1); the main
+	// size lever, since each lane carries its own register file, decode
+	// and execute datapath.
+	Lanes int
+	// Regs is the number of architectural registers per lane. 0 means 8.
+	Regs int
+}
+
+const pipelineOpBits = 4
+
+func (p Pipeline) withDefaults() Pipeline {
+	if p.Stages < 2 {
+		p.Stages = 2
+	}
+	if p.Width < 2 {
+		p.Width = 2
+	}
+	if p.Lanes < 1 {
+		p.Lanes = 1
+	}
+	if p.Regs < 2 {
+		p.Regs = 8
+	}
+	return p
+}
+
+func log2ceil(n int) int {
+	b := 0
+	for 1<<b < n {
+		b++
+	}
+	return b
+}
+
+// Build synthesizes the core. The module has ports clk, instr (shared
+// instruction word), din (data injected into every register file) and
+// dout (a per-lane XOR fold of the final stage results).
+func (p Pipeline) Build() *netlist.Netlist {
+	p = p.withDefaults()
+	rbits := log2ceil(p.Regs)
+	instrW := pipelineOpBits + 3*rbits
+
+	b := netlist.NewBuilder(fmt.Sprintf("pipeline_s%d_w%d_l%d", p.Stages, p.Width, p.Lanes))
+	est := p.estimateCells()
+	b.Reserve(est, 3*est)
+	c := NewC(b)
+
+	clk := b.Clock("clk")
+	instr := b.InputBus("instr", instrW)
+	din := b.InputBus("din", p.Width)
+
+	// Clock distribution: enough leaves for one per stage register bank,
+	// with a short local buffer chain under each, like a placed tree.
+	depth := log2ceil(p.Stages + 1)
+	if depth < 2 {
+		depth = 2
+	}
+	tree := c.BuildClockTree(clk, depth, WithLeafChain(1))
+	leaf := func(stage int) netlist.NetID {
+		return tree.Leaves[stage%len(tree.Leaves)]
+	}
+
+	dout := make(Bus, p.Width)
+	for i := range dout {
+		dout[i] = c.Zero()
+	}
+	for lane := 0; lane < p.Lanes; lane++ {
+		result := p.buildLane(c, lane, instr, din, leaf)
+		dout = c.XorBus(dout, result)
+	}
+	b.OutputBus("dout", dout)
+	return b.MustBuild()
+}
+
+// buildLane constructs one lane and returns its final-stage result bus.
+func (p Pipeline) buildLane(c *C, lane int, instr, din Bus, leaf func(int) netlist.NetID) Bus {
+	b := c.B
+	rbits := log2ceil(p.Regs)
+
+	// IF/ID: register the shared instruction word, mixed per lane
+	// (rotate by lane, invert alternating bits by lane parity) so each
+	// lane's decode sees a distinct signal population.
+	mixed := make(Bus, len(instr))
+	for i := range instr {
+		n := instr[(i+lane)%len(instr)]
+		if lane%2 == 1 && i%2 == 0 {
+			n = c.Not(n)
+		}
+		mixed[i] = n
+	}
+	iid := c.RegisterBus(mixed, leaf(0), uint64(lane))
+
+	op := iid[0:pipelineOpBits]
+	rd := iid[pipelineOpBits : pipelineOpBits+rbits]
+	rs1 := iid[pipelineOpBits+rbits : pipelineOpBits+2*rbits]
+	rs2 := iid[pipelineOpBits+2*rbits : pipelineOpBits+3*rbits]
+	opHot := c.Decoder(op[:2]) // 4 execute ops
+	wen := op[2]               // writeback enable
+
+	// Register file: p.Regs registers with a mux write port. The D nets
+	// are pre-allocated so the writeback network (built after the
+	// execute stages) can drive them through explicit write-port
+	// buffers.
+	regs := make([]Bus, p.Regs)
+	wbIn := make([]Bus, p.Regs)
+	for r := range regs {
+		wbIn[r] = b.NewBus(p.Width)
+		regs[r] = c.RegisterBus(wbIn[r], leaf(0), uint64(lane+r))
+	}
+
+	// Decode-stage reads: one-hot selectors over the register file.
+	rs1Hot := c.Decoder(rs1)
+	rs2Hot := c.Decoder(rs2)
+	a := c.Select1H(rs1Hot[:p.Regs], regs)
+	bOp := c.Select1H(rs2Hot[:p.Regs], regs)
+	// Mix the external data port into operand b so primary inputs reach
+	// the datapath (keeps SP workload-dependent all the way through).
+	bOp = c.XorBus(bOp, din)
+
+	// Execute stages with operand forwarding: each stage's in-flight
+	// destination register is compared against this instruction's rs1,
+	// and on a match the in-flight partial result is muxed in front of
+	// the register-file read (classic EX->ID bypass, one mux per stage).
+	v := a
+	bPipe := bOp
+	rdPipe := rd
+	hotPipe := opHot
+	for s := 1; s < p.Stages; s++ {
+		fwd := c.EqualBus(rdPipe, rs1)
+		v = c.MuxBus(fwd, v, bPipe)
+
+		sum, _ := c.AdderCSel(v, bPipe, c.Zero(), 4)
+		diff, _ := c.Sub(v, bPipe)
+		var logic Bus
+		if s%2 == 0 {
+			logic = c.AndBus(c.XorBus(v, bPipe), c.NotBus(bPipe))
+		} else {
+			logic = c.OrBus(c.XorBus(v, bPipe), c.AndBus(v, bPipe))
+		}
+		sh := c.ZeroExtend(rdPipe, log2ceil(p.Width))
+		shift := c.ShiftLeft(v, sh)
+		res := c.Select1H(hotPipe, []Bus{sum, diff, logic, shift})
+
+		lf := leaf(s)
+		v = c.RegisterBus(res, lf, 0)
+		bPipe = c.RegisterBus(bPipe, lf, 0)
+		rdPipe = c.RegisterBus(rdPipe, lf, 0)
+		hotPipe = c.RegisterBus(hotPipe, lf, 0)
+	}
+
+	// Writeback: decode the final-stage rd into a write-enable one-hot
+	// and drive every register's pre-allocated D net through an explicit
+	// write-port buffer (hold value unless selected).
+	wenPipe := wen
+	for s := 1; s < p.Stages; s++ {
+		wenPipe = b.AddDFF(wenPipe, leaf(s), false)
+	}
+	wrHot := c.Decoder(rdPipe)
+	for r := 0; r < p.Regs; r++ {
+		sel := c.And(wrHot[r], wenPipe)
+		d := c.MuxBus(sel, regs[r], v)
+		for i := range d {
+			b.AddRaw(cell.BUF, fmt.Sprintf("WB$l%d_r%d_%d", lane, r, i),
+				Bus{d[i]}, netlist.NoNet, wbIn[r][i], false)
+		}
+	}
+	return v
+}
+
+// estimateCells is a rough sizing model used only to pre-reserve builder
+// capacity; Build is correct regardless of its accuracy.
+func (p Pipeline) estimateCells() int {
+	perStage := 14 * p.Width
+	perLane := p.Regs*(3*p.Width+2) + (p.Stages-1)*perStage + 6*p.Width
+	return p.Lanes*perLane + 64
+}
+
+// PipelineForCells returns pipeline parameters sized so Build produces
+// approximately n cells (n is clamped below by the smallest one-lane
+// core). The lane is the linear size lever: two probe builds measure the
+// fixed and per-lane cell costs exactly, then lanes are solved for.
+func PipelineForCells(n int) Pipeline {
+	base := Pipeline{Stages: 5, Width: 32, Lanes: 1, Regs: 8}
+	c1 := len(base.Build().Cells)
+	two := base
+	two.Lanes = 2
+	c2 := len(two.Build().Cells)
+	perLane := c2 - c1
+	fixed := c1 - perLane
+	lanes := (n - fixed + perLane/2) / perLane
+	if lanes < 1 {
+		lanes = 1
+	}
+	base.Lanes = lanes
+	return base
+}

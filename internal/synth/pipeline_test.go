@@ -1,0 +1,85 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestPipelineBuilds(t *testing.T) {
+	nl := Pipeline{Stages: 3, Width: 8, Lanes: 2, Regs: 4}.Build()
+	st := nl.Stats()
+	if st.DFFs == 0 || st.Comb == 0 || st.ClockCells == 0 {
+		t.Fatalf("degenerate pipeline: %+v", st)
+	}
+	if nl.ClockRoot == netlist.NoNet {
+		t.Error("pipeline has no clock root")
+	}
+	if _, ok := nl.FindInput("instr"); !ok {
+		t.Error("missing instr port")
+	}
+	if _, ok := nl.FindOutput("dout"); !ok {
+		t.Error("missing dout port")
+	}
+}
+
+func TestPipelineScalesWithParams(t *testing.T) {
+	base := Pipeline{Stages: 3, Width: 8, Lanes: 1, Regs: 4}
+	n1 := len(base.Build().Cells)
+	twoLanes := base
+	twoLanes.Lanes = 2
+	n2 := len(twoLanes.Build().Cells)
+	if n2 <= n1 {
+		t.Errorf("lanes=2 (%d cells) not larger than lanes=1 (%d cells)", n2, n1)
+	}
+	deeper := base
+	deeper.Stages = 6
+	n3 := len(deeper.Build().Cells)
+	if n3 <= n1 {
+		t.Errorf("stages=6 (%d cells) not larger than stages=3 (%d cells)", n3, n1)
+	}
+	// Lane scaling is roughly linear: the second lane's marginal cost
+	// should repeat for the third.
+	threeLanes := base
+	threeLanes.Lanes = 3
+	n4 := len(threeLanes.Build().Cells)
+	marginal2 := n2 - n1
+	marginal3 := n4 - n2
+	if marginal3 < marginal2*9/10 || marginal3 > marginal2*11/10 {
+		t.Errorf("lane cost not linear: +%d then +%d cells", marginal2, marginal3)
+	}
+}
+
+func TestPipelineRoundTripsThroughVerilog(t *testing.T) {
+	nl := Pipeline{Stages: 4, Width: 8, Lanes: 2, Regs: 4}.Build()
+	back, err := netlist.ParseVerilog(nl.Verilog())
+	if err != nil {
+		t.Fatalf("ParseVerilog: %v", err)
+	}
+	a, b := nl.Stats(), back.Stats()
+	if a != b {
+		t.Errorf("stats changed across round trip: %+v vs %+v", a, b)
+	}
+	if (nl.ClockRoot == netlist.NoNet) != (back.ClockRoot == netlist.NoNet) {
+		t.Error("clock root lost in round trip")
+	}
+}
+
+func TestPipelineForCells(t *testing.T) {
+	for _, target := range []int{20_000, 100_000} {
+		p := PipelineForCells(target)
+		got := len(p.Build().Cells)
+		if got < target*8/10 || got > target*12/10 {
+			t.Errorf("PipelineForCells(%d) built %d cells (params %+v)", target, got, p)
+		}
+	}
+}
+
+func TestPipelineDeterministic(t *testing.T) {
+	p := Pipeline{Stages: 3, Width: 8, Lanes: 2, Regs: 4}
+	a := p.Build().Verilog()
+	b := p.Build().Verilog()
+	if a != b {
+		t.Error("pipeline generation is not deterministic")
+	}
+}
