@@ -9,6 +9,12 @@
 // the wave occupancy and retirement accounting. Campaigns can be
 // deadline-bounded (-deadline) and checkpointed (-checkpoint): an
 // interrupted run resumes to the identical final report.
+//
+// `-guards all` (or a comma-separated subset of the unit's guard names,
+// see internal/guard) attaches the always-on algebraic runtime guards
+// as an extra detection source: completed runs whose state diverged
+// from golden but whose guard log fired are classified detected instead
+// of sdc-escape, and the escape table gains per-class guard columns.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -47,6 +54,7 @@ func run(args []string, out io.Writer) error {
 	jobs := fs.Int("j", 0, "worker parallelism (0 = all CPUs, 1 = sequential)")
 	scalar := fs.Bool("scalar", false, "force the scalar one-replay-per-injection baseline (no packed waves)")
 	stats := fs.Bool("stats", false, "print packed-simulation accounting (wave occupancy, retired lanes, replay savings)")
+	guards := fs.String("guards", "", "always-on runtime guards: \"all\" or comma-separated guard names (empty = unguarded)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -84,6 +92,7 @@ func run(args []string, out io.Writer) error {
 		MaxCycles:      *maxCycles,
 		CheckpointPath: *checkpoint,
 		Scalar:         *scalar,
+		Guards:         guardList(*guards),
 	})
 	if err != nil {
 		return err
@@ -123,13 +132,20 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 	}
-	detectedCases := 0
+	detectedCases, guardDetected := 0, 0
 	for _, r := range rep.Results {
 		if r.Outcome == inject.Detected.String() {
 			detectedCases++
+			if r.Guard != "" && r.Halt == "exit" {
+				guardDetected++
+			}
 		}
 	}
 	fmt.Fprintf(out, "\ntotals: detected %d, escapes %d of %d completed\n", detectedCases, escaped, rep.Completed)
+	if len(rep.Guards) > 0 {
+		fmt.Fprintf(out, "guards %s: %d of the %d detections are guard catches the suite missed\n",
+			strings.Join(rep.Guards, ","), guardDetected, detectedCases)
+	}
 
 	if *jsonOut != "" {
 		data, err := rep.JSON()
@@ -142,4 +158,17 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "report written to %s\n", *jsonOut)
 	}
 	return nil
+}
+
+// guardList splits the -guards flag into the name list the campaign
+// expects; whitespace around commas is tolerated.
+func guardList(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
 }

@@ -52,3 +52,32 @@ func TestRunBadUnit(t *testing.T) {
 		t.Fatal("expected error for unknown unit")
 	}
 }
+
+// TestRunGuards drives a guarded campaign: the escape table must grow
+// the guard columns and the totals must attribute guard catches.
+func TestRunGuards(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-unit", "ALU", "-n", "2", "-seed", "3", "-j", "1", "-guards", "all"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"GrdDet", "GrdFire", "guards res3,parity,bounds,flags:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("guarded output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunBadGuard: an unknown guard name surfaces as a clean error
+// naming the available guards.
+func TestRunBadGuard(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-unit", "ALU", "-n", "1", "-j", "1", "-guards", "res9"}, &out)
+	if err == nil {
+		t.Fatal("expected error for unknown guard")
+	}
+	if !strings.Contains(err.Error(), "res9") {
+		t.Errorf("error does not name the bad guard: %v", err)
+	}
+}

@@ -37,6 +37,10 @@ type InjectOptions struct {
 	// Scalar forces the one-replay-per-injection baseline path instead
 	// of packed concurrent fault simulation (differential debugging).
 	Scalar bool
+	// Guards names the always-on runtime guards to attach during every
+	// injection ("all" or a subset of guard.Names for the unit); empty
+	// runs unguarded. See inject.Config.Guards.
+	Guards []string
 }
 
 // InjectionCampaign stress-tests the lifted suite against fault
@@ -124,5 +128,6 @@ func (w *Workflow) InjectionCampaignStats(ctx context.Context, opts InjectOption
 		CheckpointPath:  opts.CheckpointPath,
 		CheckpointEvery: opts.CheckpointEvery,
 		Scalar:          opts.Scalar,
+		Guards:          opts.Guards,
 	})
 }

@@ -1,0 +1,176 @@
+package fpu
+
+import (
+	"repro/internal/netlist"
+	"repro/internal/synth"
+)
+
+// fpuGuardTaps carries the stage-2 nets the synthesized runtime
+// checkers observe: the decoded operands, the op decode, the raw
+// operand registers, the result/flag muxes feeding the output
+// registers, and the valid_q-gated clock leaf the alarms latch on.
+type fpuGuardTaps struct {
+	da, db fpDec
+	onehot synth.Bus
+	aq, bq synth.Bus
+	result synth.Bus
+	flags  synth.Bus
+	clk    netlist.NetID
+}
+
+// synthFPUGuards appends checker cells for the named guards (see
+// internal/guard for the invariant derivations — the gate
+// implementations here mirror the behavioural predicates exactly).
+// Every guard produces a sticky alarm output "g_<name>"; "guard_fire"
+// is their OR.
+func synthFPUGuards(b *netlist.Builder, c *synth.C, guards []string, t fpuGuardTaps) {
+	da, db, onehot, result, flags := t.da, t.db, t.onehot, t.result, t.flags
+
+	// Shared predicates (cheap; recomputed once for all guards).
+	sbEff := c.Xor(db.sign, onehot[OpFsub])
+	isAddSub := c.Or(onehot[OpFadd], onehot[OpFsub])
+	isArith := c.Or(isAddSub, onehot[OpFmul])
+	resExpOne := c.AndReduce(result[23:31])
+	resManNZ := c.OrReduce(result[0:23])
+	resNaN := c.And(resExpOne, resManNZ)
+	resInf := c.And(resExpOne, c.Not(resManNZ))
+	anyNaN := c.Or(da.isNaN, db.isNaN)
+	anyInf := c.Or(da.isInf, db.isInf)
+	anyZero := c.Or(da.isZero, db.isZero)
+	noNaN := c.Not(anyNaN)
+	sameSign := c.And(c.Xnor(da.sign, sbEff), noNaN)
+	qnanBits := c.Const(32, uint64(QNaN))
+
+	var alarms synth.Bus
+	alarm := func(name string, fire netlist.NetID) {
+		q := c.StickyAlarm("g_"+name+"_q", fire, t.clk)
+		b.Output("g_"+name, q)
+		alarms = append(alarms, q)
+	}
+
+	for _, name := range guards {
+		switch name {
+		case "sign":
+			// FMUL sign algebra, same-sign add keeps its sign, min/max
+			// results are operands or QNaN, boolean compares, FSGNJ
+			// recompute, FCLASS one-hot.
+			mulBad := c.And(onehot[OpFmul], c.And(c.Not(resNaN),
+				c.Xor(result[31], c.Xor(da.sign, db.sign))))
+			addBad := c.And(isAddSub, c.And(sameSign,
+				c.Or(resNaN, c.Xor(result[31], da.sign))))
+			isMM := c.Or(onehot[OpFmin], onehot[OpFmax])
+			mmBad := c.And(isMM, c.Not(c.OrReduce(synth.Bus{
+				c.EqualBus(result, t.aq),
+				c.EqualBus(result, t.bq),
+				c.EqualBus(result, qnanBits),
+			})))
+			isCmp := c.OrReduce(synth.Bus{onehot[OpFle], onehot[OpFlt], onehot[OpFeq]})
+			cmpBad := c.And(isCmp, c.OrReduce(result[1:32]))
+			sgnjSel := synth.Bus{onehot[OpFsgnj], onehot[OpFsgnjn], onehot[OpFsgnjx]}
+			isSgnj := c.OrReduce(sgnjSel)
+			wantSign := c.Select1H(sgnjSel, []synth.Bus{
+				{db.sign}, {c.Not(db.sign)}, {c.Xor(da.sign, db.sign)}})
+			sgnjBad := c.And(isSgnj, c.Or(
+				c.OrReduce(c.XorBus(result[0:31], t.aq[0:31])),
+				c.Xor(result[31], wantSign[0])))
+			ones := c.ZeroExtend(c.OnesCount(synth.Bus(result[0:10])), 5)
+			classBad := c.And(onehot[OpFclass], c.Not(c.And(
+				c.EqualBus(ones, c.Const(5, 1)),
+				c.Not(c.OrReduce(result[10:32])))))
+			alarm(name, c.OrReduce(synth.Bus{
+				mulBad, addBad, mmBad, cmpBad, sgnjBad, classBad}))
+
+		case "exprange":
+			// FADD/FSUB: decode-frame exponent bounds (≤ max+2; no
+			// cancellation below max for same-effective-sign sums).
+			bothFinite := c.Nor(da.expOne, db.expOne)
+			bothZero := c.And(da.isZero, db.isZero)
+			er := synth.Bus(result[23:31])
+			erNZ := c.OrReduce(er)
+			emax := c.MuxBus(c.LtU(da.eAdj, db.eAdj), da.eAdj, db.eAdj)
+			bound10, _ := c.Adder(c.ZeroExtend(emax, 10), c.Const(10, 2), c.Zero())
+			upperBad := c.And(erNZ, c.LtU(bound10, c.ZeroExtend(er, 10)))
+			eAdjR := c.MuxBus(erNZ, c.Const(8, 1), er)
+			lowerBad := c.And(c.And(sameSign, c.Nor(da.isZero, db.isZero)),
+				c.LtU(c.ZeroExtend(eAdjR, 10), c.ZeroExtend(emax, 10)))
+			addNZBad := c.Or(upperBad, lowerBad)
+			addZBad := c.OrReduce(result[0:31])
+			addBad := c.And(c.And(isAddSub, bothFinite),
+				c.Mux(bothZero, addNZBad, addZBad))
+
+			// FMUL: fully-normalized exponents via LZC, pre-round
+			// exponent e = ea'+eb'-127, result in [e, e+2] with the
+			// subnormal/overflow thresholds.
+			lza, _ := c.LZC(da.sig24)
+			lzb, _ := c.LZC(db.sig24)
+			eNa, _ := c.Sub(c.ZeroExtend(da.eAdj, 11), c.ZeroExtend(lza, 11))
+			eNb, _ := c.Sub(c.ZeroExtend(db.eAdj, 11), c.ZeroExtend(lzb, 11))
+			eSum, _ := c.Adder(eNa, eNb, c.Zero())
+			e11, _ := c.Sub(eSum, c.Const(11, 127))
+			eP2, _ := c.Adder(e11, c.Const(11, 2), c.Zero())
+			er11 := c.ZeroExtend(er, 11)
+			normBad := c.And(c.And(erNZ, c.Not(resExpOne)),
+				c.Or(c.LtS(er11, e11), c.LtS(eP2, er11)))
+			subBad := c.And(c.Not(erNZ), c.LtS(c.Const(11, 0), e11))
+			infBad := c.And(resInf, c.LtS(e11, c.Const(11, 253)))
+			mulNZBad := c.OrReduce(synth.Bus{resNaN, normBad, subBad, infBad})
+			mulBad := c.And(c.And(onehot[OpFmul], bothFinite),
+				c.Mux(anyZero, mulNZBad, c.OrReduce(result[0:31])))
+
+			alarm(name, c.Or(addBad, mulBad))
+
+		case "nanprop":
+			// NaN in ⇒ canonical QNaN out; invalid combos ⇒ QNaN;
+			// otherwise never NaN and infinities propagate exactly;
+			// plus the flag-bit implications.
+			eqQ := c.EqualBus(result, qnanBits)
+			infInf := c.And(c.And(da.isInf, db.isInf), c.Xor(da.sign, sbEff))
+			infZero := c.Or(c.And(da.isInf, db.isZero), c.And(db.isInf, da.isZero))
+			inv := c.Or(c.And(isAddSub, infInf), c.And(onehot[OpFmul], infZero))
+			clean := c.And(noNaN, c.Not(inv))
+			f1 := c.And(c.And(isArith, anyNaN), c.Not(eqQ))
+			f2 := c.And(c.And(isArith, inv), c.Not(eqQ))
+			f3 := c.And(c.And(isArith, clean), resNaN)
+			expMulInf := append(append(synth.Bus{}, c.Const(31, 0x7f800000)...),
+				c.Xor(da.sign, db.sign))
+			f4 := c.And(c.And(onehot[OpFmul], c.And(anyInf, clean)),
+				c.Not(c.EqualBus(result, expMulInf)))
+			bEff := append(append(synth.Bus{}, t.bq[0:31]...), sbEff)
+			expAddInf := c.MuxBus(da.isInf, bEff, t.aq)
+			f5 := c.And(c.And(isAddSub, c.And(anyInf, clean)),
+				c.Not(c.EqualBus(result, expAddInf)))
+			f6 := flags[3] // DZ is never raised by this unit
+			f7 := c.And(flags[1], c.Not(flags[0]))
+			f8 := c.And(flags[2], c.Not(flags[0]))
+			special := c.Or(c.And(isAddSub, c.Or(anyNaN, anyInf)),
+				c.And(onehot[OpFmul], c.OrReduce(synth.Bus{anyNaN, anyInf, anyZero})))
+			f9 := c.And(special, c.OrReduce(flags[0:3]))
+			f10 := c.And(c.And(isArith, inv), c.Not(flags[4]))
+			f11 := c.And(c.And(isArith, c.And(anyInf, clean)), flags[4])
+			alarm(name, c.OrReduce(synth.Bus{
+				f1, f2, f3, f4, f5, f6, f7, f8, f9, f10, f11}))
+
+		case "addswap":
+			// A full second add path with commuted operands:
+			// a+b ≡ b+a, a−b ≡ (−b)+a, bit-exact including flags.
+			bNeg := append(append(synth.Bus{}, t.bq[0:31]...),
+				c.Xor(t.bq[31], onehot[OpFsub]))
+			dbEff := decodeFP(c, bNeg)
+			res2, fl2 := addPath(c, dbEff, da, c.Zero())
+			alarm(name, c.And(isAddSub, c.Or(
+				c.Not(c.EqualBus(result, res2)),
+				c.Not(c.EqualBus(flags, fl2)))))
+
+		case "mulswap":
+			// A full second multiplier with commuted operands.
+			res2, fl2 := mulPath(c, db, da)
+			alarm(name, c.And(onehot[OpFmul], c.Or(
+				c.Not(c.EqualBus(result, res2)),
+				c.Not(c.EqualBus(flags, fl2)))))
+
+		default:
+			panic("fpu: unknown guard " + name)
+		}
+	}
+	b.Output("guard_fire", c.OrReduce(alarms))
+}

@@ -240,7 +240,26 @@ func comparePath(c *synth.C, da, db fpDec) comparePrims {
 // clock-gated status registers (out_valid, busy, active) whose short
 // launch paths from the valid pipeline make them the hold-violation
 // candidates after clock-tree aging.
-func Build() *module.Module {
+func Build() *module.Module { return build(nil) }
+
+// GuardNames lists the gate-level runtime checkers this unit can emit,
+// in canonical order (mirrored by the guard package's FPU registry).
+var GuardNames = []string{"sign", "exprange", "nanprop", "addswap", "mulswap"}
+
+// BuildGuarded is Build plus synthesized always-on checker cells for the
+// named guards (see internal/guard). Checkers tap the stage-2
+// combinational datapath (decoded operands in, result/flag muxes out)
+// and latch violations into sticky g_<name>_q alarm registers clocked
+// with the result registers; the swap guards instantiate a full second
+// add/multiply path with commuted operands. Checker cells and the
+// "g_<name>"/"guard_fire" outputs are appended after the base netlist,
+// which stays a bit-identical prefix — fault universes sampled on
+// Build() remain valid. Used for costing (cell count, timing) and
+// gate-level false-positive proofs; campaigns attach behavioural guards
+// at the backend seam.
+func BuildGuarded(guards ...string) *module.Module { return build(guards) }
+
+func build(guards []string) *module.Module {
 	b := netlist.NewBuilder("fpu")
 	c := synth.NewC(b)
 
@@ -367,6 +386,14 @@ func Build() *module.Module {
 	b.Output(module.PortOutValid, outValid)
 	b.Output("flags_valid", fweQ)
 	b.Output("busy", busyQ)
+
+	// Guard checkers: stage-2 taps, sticky alarms on the result leaf.
+	if len(guards) > 0 {
+		synthFPUGuards(b, c, guards, fpuGuardTaps{
+			da: da, db: db, onehot: onehot, aq: aq, bq: bq,
+			result: result, flags: flags, clk: tree.Leaves[10],
+		})
+	}
 
 	return &module.Module{
 		Name:        "FPU",

@@ -1,0 +1,84 @@
+package guard
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/alu"
+	"repro/internal/fpu"
+)
+
+// guardOpCeiling is the generous per-op ceiling the CI bench smoke
+// asserts: even the softfloat swap cross-checks must stay well under a
+// microsecond per observed operation, or the "always-on" premise —
+// guards cost a fraction of the unit op they check — is broken.
+const guardOpCeiling = 2 * time.Microsecond
+
+type benchOp struct{ op, a, b, r, f uint32 }
+
+// benchStream builds a fixed operand stream with architecturally
+// correct results, so every Check call is on the clean (never-firing)
+// fast path — exactly the production profile of an always-on guard.
+func benchStream(unit string, n int) []benchOp {
+	rng := rand.New(rand.NewSource(97))
+	ops := make([]benchOp, n)
+	for i := range ops {
+		a, b := rng.Uint32(), rng.Uint32()
+		if unit == UnitALU {
+			op := alu.Op(rng.Intn(alu.NumOps))
+			r := alu.Eval(op, a, b)
+			ops[i] = benchOp{uint32(op), a, b, r, alu.Flags(a, b)}
+		} else {
+			op := fpu.Op(rng.Intn(fpu.NumOps))
+			r, f := fpu.Eval(op, a, b)
+			ops[i] = benchOp{uint32(op), a, b, r, f}
+		}
+	}
+	return ops
+}
+
+// BenchmarkGuardOverhead measures each guard's behavioural per-op check
+// cost on a clean operand stream, plus the full per-unit set behind one
+// Log.Observe (the configuration the guarded campaigns run). The CI
+// bench smoke runs this at -benchtime 1x; the ceiling assertion fires
+// on any iterated run (b.N > 1) so `go test -bench` catches a guard
+// that got accidentally expensive.
+func BenchmarkGuardOverhead(b *testing.B) {
+	for _, unit := range []string{UnitALU, UnitFPU} {
+		stream := benchStream(unit, 4096)
+		for _, g := range All(unit) {
+			g := g
+			b.Run(unit+"/"+g.Name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					v := &stream[i%len(stream)]
+					if !g.Check(v.op, v.a, v.b, v.r, v.f) {
+						b.Fatalf("guard %s false positive on %+v", g.Name, *v)
+					}
+				}
+				assertCeiling(b)
+			})
+		}
+		b.Run(unit+"/all-observed", func(b *testing.B) {
+			log := NewLog(All(unit))
+			for i := 0; i < b.N; i++ {
+				v := &stream[i%len(stream)]
+				log.Observe(v.op, v.a, v.b, v.r, v.f, true)
+			}
+			if log.Fired() {
+				b.Fatalf("guard %s false positive (op %d)", log.First, log.FirstOp)
+			}
+			assertCeiling(b)
+		})
+	}
+}
+
+func assertCeiling(b *testing.B) {
+	b.Helper()
+	if b.N <= 1 {
+		return // -benchtime 1x calibration run: no meaningful per-op time
+	}
+	if perOp := b.Elapsed() / time.Duration(b.N); perOp > guardOpCeiling {
+		b.Fatalf("per-op guard cost %v exceeds ceiling %v", perOp, guardOpCeiling)
+	}
+}

@@ -1,0 +1,249 @@
+package guard
+
+import (
+	"math/bits"
+
+	"repro/internal/fpu"
+)
+
+func signOf(x uint32) uint32 { return x >> 31 }
+func expOf(x uint32) uint32  { return x >> 23 & 0xff }
+func manOf(x uint32) uint32  { return x & 0x7fffff }
+func isNaN(x uint32) bool    { return expOf(x) == 0xff && manOf(x) != 0 }
+func isInf(x uint32) bool    { return expOf(x) == 0xff && manOf(x) == 0 }
+func isZero(x uint32) bool   { return x&0x7fffffff == 0 }
+func isFinite(x uint32) bool { return expOf(x) != 0xff }
+
+// eAdj is the operand exponent in the softfloat decode frame: the biased
+// exponent for normals, 1 for subnormals and zeros (fpu.decode).
+func eAdj(x uint32) int32 {
+	if e := expOf(x); e != 0 {
+		return int32(e)
+	}
+	return 1
+}
+
+// eNorm is the fully-normalized biased exponent of a finite nonzero
+// value: subnormal significands are shifted up until the hidden-bit
+// position is occupied, decrementing the exponent below 1 (matching the
+// normalization fpu.Mul applies before multiplying).
+func eNorm(x uint32) int32 {
+	e := eAdj(x)
+	sig := manOf(x)
+	if expOf(x) != 0 {
+		sig |= 1 << 23
+	}
+	// Leading 1 belongs at bit 23; each missing position costs one
+	// exponent step.
+	return e - int32(23-(31-bits.LeadingZeros32(sig)))
+}
+
+// effSignB is b's sign with FSUB's negation applied.
+func effSignB(op fpu.Op, b uint32) uint32 {
+	s := signOf(b)
+	if op == fpu.OpFsub {
+		s ^= 1
+	}
+	return s
+}
+
+// fpuSign checks the sign algebra every op obeys:
+//
+//   - FMUL: a non-NaN product's sign is sa^sb (zeros, infinities and
+//     rounded results alike).
+//   - FADD/FSUB: adding two same-effective-sign non-NaN values can never
+//     cancel, so the result is non-NaN and keeps that sign.
+//   - FMIN/FMAX: the result is one of the operands or the canonical NaN.
+//   - FLE/FLT/FEQ: boolean results.
+//   - FSGNJ/FSGNJN/FSGNJX: full recompute — the op is pure bit algebra.
+//   - FCLASS: the result is one-hot within 10 bits.
+func fpuSign(op, a, b, r, _ uint32) bool {
+	fop := fpu.Op(op)
+	switch fop {
+	case fpu.OpFmul:
+		if isNaN(r) {
+			return true
+		}
+		return signOf(r) == signOf(a)^signOf(b)
+	case fpu.OpFadd, fpu.OpFsub:
+		if isNaN(a) || isNaN(b) {
+			return true
+		}
+		if sa := signOf(a); sa == effSignB(fop, b) {
+			return !isNaN(r) && signOf(r) == sa
+		}
+		return true
+	case fpu.OpFmin, fpu.OpFmax:
+		return r == a || r == b || r == fpu.QNaN
+	case fpu.OpFle, fpu.OpFlt, fpu.OpFeq:
+		return r <= 1
+	case fpu.OpFsgnj:
+		return r == fpu.SignInject(a, b, 0)
+	case fpu.OpFsgnjn:
+		return r == fpu.SignInject(a, b, 1)
+	case fpu.OpFsgnjx:
+		return r == fpu.SignInject(a, b, 2)
+	case fpu.OpFclass:
+		return r != 0 && r&(r-1) == 0 && r < 1<<10
+	}
+	return true
+}
+
+// fpuExpRange bounds the result exponent of FADD/FSUB/FMUL by the
+// decoded operand exponents. The bounds come from the shape of the
+// datapath, not from recomputation:
+//
+// FMUL of finite nonzero operands: with fully-normalized exponents
+// ea', eb', the pre-round exponent is e = ea'+eb'-127 and the product's
+// leading 1 sits at most one position high, with at most one more carry
+// from rounding — so a normal result's exponent lies in [e, e+2], a
+// subnormal/zero result requires e ≤ 0, and overflow to infinity
+// requires e ≥ 253.
+//
+// FADD/FSUB of finite operands (not both zero): the aligned sum carries
+// at most one position plus one rounding carry, so the result exponent
+// is at most max(ea,eb)+2; and a same-effective-sign sum is at least as
+// large in magnitude as its larger operand, so its adjusted exponent is
+// at least max(ea,eb).
+func fpuExpRange(op, a, b, r, _ uint32) bool {
+	fop := fpu.Op(op)
+	switch fop {
+	case fpu.OpFmul:
+		if !isFinite(a) || !isFinite(b) {
+			return true
+		}
+		if isZero(a) || isZero(b) {
+			return isZero(r) // exact ±0
+		}
+		if isNaN(r) {
+			return false // finite × finite is never NaN
+		}
+		e := eNorm(a) + eNorm(b) - 127
+		switch {
+		case isInf(r):
+			return e >= 253
+		case expOf(r) == 0: // subnormal or zero
+			return e <= 0
+		default:
+			er := int32(expOf(r))
+			return e <= er && er <= e+2
+		}
+	case fpu.OpFadd, fpu.OpFsub:
+		if !isFinite(a) || !isFinite(b) {
+			return true
+		}
+		if isZero(a) && isZero(b) {
+			return isZero(r)
+		}
+		if isNaN(r) {
+			return false
+		}
+		emax := eAdj(a)
+		if eb := eAdj(b); eb > emax {
+			emax = eb
+		}
+		// Upper bound, all sign combinations.
+		if isInf(r) {
+			if emax < 253 {
+				return false
+			}
+		} else if expOf(r) != 0 && int32(expOf(r)) > emax+2 {
+			return false
+		}
+		// Lower bound: no cancellation possible with equal effective signs.
+		if signOf(a) == effSignB(fop, b) && !isZero(a) && !isZero(b) {
+			er := int32(255)
+			if !isInf(r) {
+				er = eAdj(r)
+			}
+			if er < emax {
+				return false
+			}
+		}
+		return true
+	}
+	return true
+}
+
+// fpuNaNProp checks IEEE-754 special-value propagation for the
+// computational ops, plus flag-bit implications the unit can never
+// violate:
+//
+//   - Any NaN input to FADD/FSUB/FMUL yields exactly the canonical QNaN.
+//   - The two invalid combinations (∞−∞, ∞×0) also yield QNaN.
+//   - Otherwise the result is never NaN, and an infinity operand
+//     propagates as an exactly-predictable infinity.
+//   - Flags: only the five fflags bits exist, DZ is never raised by this
+//     unit, UF and OF each imply NX, and special-path results (NaN or ∞
+//     involved) never raise rounding flags.
+func fpuNaNProp(op, a, b, r, f uint32) bool {
+	if f>>fpu.FlagWidth != 0 || f&fpu.FlagDZ != 0 {
+		return false
+	}
+	if f&fpu.FlagUF != 0 && f&fpu.FlagNX == 0 {
+		return false
+	}
+	if f&fpu.FlagOF != 0 && f&fpu.FlagNX == 0 {
+		return false
+	}
+	fop := fpu.Op(op)
+	if fop != fpu.OpFadd && fop != fpu.OpFsub && fop != fpu.OpFmul {
+		return true
+	}
+	if isNaN(a) || isNaN(b) {
+		return r == fpu.QNaN && f&^fpu.FlagNV == 0
+	}
+	mul := fop == fpu.OpFmul
+	invalid := false
+	if mul {
+		invalid = (isInf(a) && isZero(b)) || (isZero(a) && isInf(b))
+	} else {
+		invalid = isInf(a) && isInf(b) && signOf(a) != effSignB(fop, b)
+	}
+	if invalid {
+		return r == fpu.QNaN && f == fpu.FlagNV
+	}
+	if isNaN(r) {
+		return false
+	}
+	if isInf(a) || isInf(b) {
+		if f != 0 {
+			return false
+		}
+		if mul {
+			return r == (signOf(a)^signOf(b))<<31|0xff<<23
+		}
+		if isInf(a) {
+			return r == a
+		}
+		return r == b^uint32(b2u(fop == fpu.OpFsub))<<31
+	}
+	return true
+}
+
+// fpuAddSwap cross-checks FADD/FSUB against the softfloat reference with
+// the operands commuted: a+b ≡ b+a and a−b ≡ (−b)+a, bit-exactly
+// including flags. This is a full-recompute guard — total single-fault
+// coverage on the add path at the cost of a second adder.
+func fpuAddSwap(op, a, b, r, f uint32) bool {
+	var r2, f2 uint32
+	switch fpu.Op(op) {
+	case fpu.OpFadd:
+		r2, f2 = fpu.Add(b, a, false)
+	case fpu.OpFsub:
+		r2, f2 = fpu.Add(b^1<<31, a, false)
+	default:
+		return true
+	}
+	return r == r2 && f == f2
+}
+
+// fpuMulSwap cross-checks FMUL against the softfloat reference with the
+// operands commuted: a×b ≡ b×a bit-exactly including flags.
+func fpuMulSwap(op, a, b, r, f uint32) bool {
+	if fpu.Op(op) != fpu.OpFmul {
+		return true
+	}
+	r2, f2 := fpu.Mul(b, a)
+	return r == r2 && f == f2
+}

@@ -1,0 +1,100 @@
+package guard
+
+import (
+	"repro/internal/alu"
+	"repro/internal/fpu"
+)
+
+// ALUBackend and FPUBackend are structurally identical to the cpu
+// package's backend seams, redeclared here so guard does not import cpu
+// (any cpu.ALUBackend/cpu.FPUBackend value converts implicitly).
+type ALUBackend interface {
+	ExecALU(op alu.Op, a, b uint32) (result, flags uint32, ok bool)
+}
+
+// FPUBackend mirrors cpu.FPUBackend.
+type FPUBackend interface {
+	ExecFPU(op fpu.Op, a, b uint32) (result, flags uint32, ok bool)
+}
+
+// Log accumulates guard verdicts over one run. Guards are observe-only:
+// a Log never influences execution, so a guarded run's cycle counts,
+// results, and state digests are bit-identical to an unguarded one.
+type Log struct {
+	Set      []Guard  // guards being checked, canonical order
+	Ops      uint64   // architecturally-completed unit ops observed
+	Fires    uint64   // total failed checks across all guards
+	PerGuard []uint64 // failed checks per guard, parallel to Set
+	First    string   // name of the guard that fired first
+	FirstOp  uint64   // 1-based op index of the first fire; 0 = never
+}
+
+// NewLog prepares a verdict log for the guard set.
+func NewLog(set []Guard) *Log {
+	return &Log{Set: set, PerGuard: make([]uint64, len(set))}
+}
+
+// Fired reports whether any guard has fired.
+func (l *Log) Fired() bool { return l.Fires > 0 }
+
+// Observe checks one completed unit operation against every guard in
+// the set. Ops that never complete (ok=false: a hung handshake, caught
+// by the CPU's stall watchdog) carry no architectural result to check.
+func (l *Log) Observe(op, a, b, r, f uint32, ok bool) {
+	if !ok {
+		return
+	}
+	l.Ops++
+	for i := range l.Set {
+		if !l.Set[i].Check(op, a, b, r, f) {
+			l.Fires++
+			l.PerGuard[i]++
+			if l.FirstOp == 0 {
+				l.First = l.Set[i].Name
+				l.FirstOp = l.Ops
+			}
+		}
+	}
+}
+
+// GuardedALU wraps an ALU backend (or the golden model when Inner is
+// nil) and checks every operation against Log.Set. It satisfies
+// cpu.ALUBackend.
+type GuardedALU struct {
+	Inner ALUBackend
+	Log   *Log
+}
+
+// ExecALU implements the backend seam.
+func (g *GuardedALU) ExecALU(op alu.Op, a, b uint32) (uint32, uint32, bool) {
+	var r, f uint32
+	ok := true
+	if g.Inner == nil {
+		r, f = alu.Eval(op, a, b), alu.Flags(a, b)
+	} else {
+		r, f, ok = g.Inner.ExecALU(op, a, b)
+	}
+	g.Log.Observe(uint32(op), a, b, r, f, ok)
+	return r, f, ok
+}
+
+// GuardedFPU wraps an FPU backend (or the golden model when Inner is
+// nil) and checks every operation against Log.Set. It satisfies
+// cpu.FPUBackend.
+type GuardedFPU struct {
+	Inner FPUBackend
+	Log   *Log
+}
+
+// ExecFPU implements the backend seam.
+func (g *GuardedFPU) ExecFPU(op fpu.Op, a, b uint32) (uint32, uint32, bool) {
+	var r, f uint32
+	ok := true
+	if g.Inner == nil {
+		r, f = fpu.Eval(op, a, b)
+	} else {
+		r, f, ok = g.Inner.ExecFPU(op, a, b)
+	}
+	g.Log.Observe(uint32(op), a, b, r, f, ok)
+	return r, f, ok
+}

@@ -7,9 +7,11 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/cpu"
 	"repro/internal/engine"
+	"repro/internal/guard"
 	"repro/internal/isa"
 	"repro/internal/lift"
 	"repro/internal/module"
@@ -105,6 +107,20 @@ type Config struct {
 	// either way (TestPackedMatchesScalar); the scalar path exists as the
 	// differential oracle and for debugging.
 	Scalar bool
+
+	// Guards names the always-on runtime guards (see internal/guard) to
+	// attach to the unit seam during every injection: "all", or a subset
+	// of guard.Names for the module's unit. Guards are observe-only — a
+	// guarded campaign replays bit-identically to an unguarded one — but
+	// their verdicts become a detection source: a completed run whose
+	// state diverged from golden AND whose guard log fired is Detected
+	// instead of SDCEscape. Empty disables guards; the report and
+	// checkpoint are then byte-identical to pre-guard campaigns.
+	Guards []string
+
+	// guardSet is Guards resolved against the module's registry, in
+	// canonical order (filled by RunWithStats).
+	guardSet []guard.Guard
 }
 
 func (c *Config) fill() {
@@ -143,6 +159,13 @@ type Result struct {
 	// Case is the suite case that trapped (meaningful when detected in
 	// standalone mode).
 	Case int `json:",omitempty"`
+	// Guard is the first runtime guard that fired during the run (empty
+	// when guards were off or never fired); GuardOp is the 1-based unit-op
+	// index of that first fire. Guards record on every outcome — a masked
+	// run can carry a guard fire when a corrupted intermediate result was
+	// later overwritten — but only reclassify SDCEscape to Detected.
+	Guard   string `json:",omitempty"`
+	GuardOp uint64 `json:",omitempty"`
 }
 
 // ClassStats aggregates outcomes per fault class over the completed
@@ -158,6 +181,14 @@ type ClassStats struct {
 	// the fraction of this class that silently corrupts state without
 	// the suite (or a watchdog) noticing.
 	EscapeRate float64
+	// GuardDetected counts the Detected results this class owes to the
+	// runtime guards: completed runs with a divergent digest that only
+	// the guard log flagged (halt "exit" + outcome "detected" can arise
+	// no other way). Omitted when guards are off.
+	GuardDetected int `json:",omitempty"`
+	// GuardFired counts every result in this class whose guard log fired,
+	// including masked and stalled runs. Omitted when guards are off.
+	GuardFired int `json:",omitempty"`
 }
 
 // Report is the campaign's outcome. With a deadline or cancellation it
@@ -168,6 +199,9 @@ type Report struct {
 	Mode      string
 	Seed      uint64
 	MaxCycles uint64
+	// Guards lists the attached runtime guards in canonical order;
+	// omitted (and absent from the JSON) when the campaign ran unguarded.
+	Guards    []string `json:",omitempty"`
 	Total     int
 	Completed int
 	Partial   bool
@@ -181,10 +215,14 @@ func (r *Report) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ")
 
 // checkpointVersion is the current checkpoint schema version. Version 1
 // added the Version field itself plus the per-result Digest/DivergedAt
-// fields; files without a Version (the pre-packed-path schema, version
-// 0) are still accepted — their results carry zero Digest/DivergedAt —
-// while files from a NEWER schema are rejected as stale tooling.
-const checkpointVersion = 1
+// fields; version 2 added the Guards list and the per-result Guard
+// fields. An UNGUARDED campaign still writes version 1 — byte-identical
+// to pre-guard builds — so only guard-enabled campaigns require the new
+// schema. Files without a Version (the pre-packed-path schema, version
+// 0) are still accepted when guards are off — their results carry zero
+// Digest/DivergedAt — while files from a NEWER schema are rejected as
+// stale tooling.
+const checkpointVersion = 2
 
 // checkpoint is the persisted campaign state: identity plus every
 // completed result.
@@ -194,6 +232,7 @@ type checkpoint struct {
 	Mode      string
 	Seed      uint64
 	MaxCycles uint64
+	Guards    []string `json:",omitempty"`
 	Specs     []string
 	Results   []Result
 }
@@ -222,6 +261,13 @@ func RunWithStats(ctx context.Context, cfg Config) (*Report, *PackedStats, error
 		if s.Unit != cfg.Module.Name {
 			return nil, nil, fmt.Errorf("inject: spec %q does not target module %s", s.String(), cfg.Module.Name)
 		}
+	}
+	if len(cfg.Guards) > 0 {
+		gs, err := guard.Select(cfg.Module.Name, cfg.Guards)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg.guardSet = gs
 	}
 
 	// Golden run: fault-free behavioural execution of the same image
@@ -459,12 +505,13 @@ func runOne(ctx context.Context, cfg *Config, idx int, g *goldenInfo) (Result, b
 		return Result{}, false, fmt.Errorf("injection %d (%s): %w", idx, s.String(), err)
 	}
 	d := track(cfg.Module, c)
+	log := attachGuards(cfg, c)
 	c.Load(cfg.Image)
 	halt := c.RunCtx(ctx, cfg.MaxCycles)
 	if halt == cpu.HaltInterrupted {
 		return Result{}, false, nil
 	}
-	return finish(cfg, idx, c, halt, g, d), true, nil
+	return finish(cfg, idx, c, halt, g, d, log), true, nil
 }
 
 // finish classifies a completed (non-interrupted) injection run. Shared
@@ -473,7 +520,16 @@ func runOne(ctx context.Context, cfg *Config, idx int, g *goldenInfo) (Result, b
 // all of memory) is computed only for runs that completed: a trapped or
 // hung run's state is never compared against the golden digest, and
 // skipping the hash there is a large fraction of the campaign cost.
-func finish(cfg *Config, idx int, c *cpu.CPU, halt cpu.HaltReason, g *goldenInfo, d *diverge) Result {
+//
+// A non-nil guard log adds the runtime-guard detection source: the
+// first fire is recorded on every outcome, and a completed run whose
+// state diverged from golden (SDCEscape) is reclassified Detected when
+// the guards flagged it — the corruption was loud at the moment it
+// happened, no scheduled test window required. Masked runs keep their
+// outcome even when a guard fired (the fault was real but ultimately
+// harmless), so a guarded report differs from an unguarded one only in
+// Escape-to-Detected moves plus the added guard fields.
+func finish(cfg *Config, idx int, c *cpu.CPU, halt cpu.HaltReason, g *goldenInfo, d *diverge, log *guard.Log) Result {
 	s := cfg.Specs[idx]
 	var dig uint64
 	eq := false
@@ -481,15 +537,23 @@ func finish(cfg *Config, idx int, c *cpu.CPU, halt cpu.HaltReason, g *goldenInfo
 		dig = digest(c)
 		eq = dig == g.digest
 	}
+	out := classify(halt, eq)
 	r := Result{
-		Index:   idx,
-		Spec:    s.String(),
-		Class:   s.Class.String(),
-		Outcome: classify(halt, eq).String(),
-		Halt:    halt.String(),
-		Cycles:  c.Cycles,
-		Digest:  dig,
+		Index:  idx,
+		Spec:   s.String(),
+		Class:  s.Class.String(),
+		Halt:   halt.String(),
+		Cycles: c.Cycles,
+		Digest: dig,
 	}
+	if log != nil && log.Fired() {
+		r.Guard = log.First
+		r.GuardOp = log.FirstOp
+		if out == SDCEscape {
+			out = Detected
+		}
+	}
+	r.Outcome = out.String()
 	if d.hit {
 		r.DivergedAt = d.at + 1
 	}
@@ -547,11 +611,15 @@ func persist(cfg *Config, results []Result, done []bool) error {
 		return nil
 	}
 	cp := checkpoint{
-		Version:   checkpointVersion,
+		Version:   1,
 		Unit:      cfg.Module.Name,
 		Mode:      cfg.Mode,
 		Seed:      cfg.Seed,
 		MaxCycles: cfg.MaxCycles,
+	}
+	if len(cfg.guardSet) > 0 {
+		cp.Version = checkpointVersion
+		cp.Guards = guardNames(cfg.guardSet)
 	}
 	for _, s := range cfg.Specs {
 		cp.Specs = append(cp.Specs, s.String())
@@ -599,13 +667,29 @@ func loadCheckpoint(path string) (*checkpoint, error) {
 // validateCheckpoint rejects a checkpoint written by a different
 // campaign (resuming it would silently mix incompatible results) or by
 // a newer schema than this binary understands. Version 0 — the
-// pre-versioning schema — is accepted: its results simply lack the
-// Digest/DivergedAt fields, and the remaining injections resume onto
-// the current (packed) path with identical classifications.
+// pre-versioning schema — is accepted for unguarded campaigns: its
+// results simply lack the Digest/DivergedAt fields, and the remaining
+// injections resume onto the current (packed) path with identical
+// classifications. Guard-enabled campaigns additionally require a
+// version >= 2 checkpoint carrying the same guard list: results written
+// without guards have no verdicts to reclassify on, so mixing them with
+// guarded results would silently understate detection.
 func validateCheckpoint(cp *checkpoint, cfg *Config) error {
 	if cp.Version < 0 || cp.Version > checkpointVersion {
 		return fmt.Errorf("inject: checkpoint %s has schema version %d, this build understands <= %d — "+
 			"refusing a stale resume", cfg.CheckpointPath, cp.Version, checkpointVersion)
+	}
+	if len(cfg.guardSet) > 0 {
+		want := guardNames(cfg.guardSet)
+		if cp.Version < 2 || !equalStrings(cp.Guards, want) {
+			return fmt.Errorf("inject: checkpoint %s was written %s but this campaign runs guards %s — "+
+				"resuming would mix unguarded and guarded classifications; delete the checkpoint or drop the guards",
+				cfg.CheckpointPath, describeGuards(cp.Guards), strings.Join(want, ","))
+		}
+	} else if len(cp.Guards) > 0 {
+		return fmt.Errorf("inject: checkpoint %s was written with guards %s but this campaign runs none — "+
+			"delete the checkpoint or pass the same guard list",
+			cfg.CheckpointPath, strings.Join(cp.Guards, ","))
 	}
 	if cp.Unit != cfg.Module.Name || cp.Mode != cfg.Mode ||
 		cp.Seed != cfg.Seed || cp.MaxCycles != cfg.MaxCycles || len(cp.Specs) != len(cfg.Specs) {
@@ -645,6 +729,9 @@ func buildReport(cfg *Config, results []Result, done []bool) *Report {
 		MaxCycles: cfg.MaxCycles,
 		Total:     len(cfg.Specs),
 	}
+	if len(cfg.guardSet) > 0 {
+		rep.Guards = guardNames(cfg.guardSet)
+	}
 	byClass := make(map[string]*ClassStats)
 	var order []string
 	for _, cl := range Classes() {
@@ -663,12 +750,20 @@ func buildReport(cfg *Config, results []Result, done []bool) *Report {
 		switch r.Outcome {
 		case Detected.String():
 			cs.Detected++
+			if r.Halt == cpu.HaltExit.String() {
+				// A completed run can only be Detected via the guard
+				// log — the built-in suite detection traps (HaltBreak).
+				cs.GuardDetected++
+			}
 		case Masked.String():
 			cs.Masked++
 		case SDCEscape.String():
 			cs.SDCEscape++
 		case StallCrash.String():
 			cs.StallCrash++
+		}
+		if r.Guard != "" {
+			cs.GuardFired++
 		}
 	}
 	rep.Partial = rep.Completed < rep.Total

@@ -70,7 +70,11 @@ func (c countFPU) ExecFPU(op fpu.Op, a, b uint32) (uint32, uint32, bool) {
 	return r, f, true
 }
 
-// goldenRun executes the fault-free image and captures the oracle.
+// goldenRun executes the fault-free image and captures the oracle. When
+// guards are configured it also runs them over the golden execution and
+// fails the campaign if any fires: a guard that flags a fault-free run
+// violates the zero-false-positive contract, and every downstream
+// Escape-to-Detected reclassification would be meaningless.
 func goldenRun(cfg *Config) (*goldenInfo, error) {
 	g := &goldenInfo{}
 	c := cpu.New(cfg.MemSize)
@@ -79,9 +83,14 @@ func goldenRun(cfg *Config) (*goldenInfo, error) {
 	} else {
 		c.FPU = countFPU{&g.ops}
 	}
+	log := attachGuards(cfg, c)
 	c.Load(cfg.Image)
 	if halt := c.Run(cfg.MaxCycles); halt != cpu.HaltExit || c.ExitCode != 0 {
 		return nil, fmt.Errorf("inject: golden run failed (halt=%v exit=%d)", halt, c.ExitCode)
+	}
+	if log != nil && log.Fired() {
+		return nil, fmt.Errorf("inject: guard %s fired on the fault-free golden run (op %d of %d) — "+
+			"false positive, refusing to classify with it", log.First, log.FirstOp, log.Ops)
 	}
 	g.digest = digest(c)
 	g.cycles = c.Cycles
@@ -504,6 +513,7 @@ func runContinuation(ctx context.Context, cfg *Config, g *goldenInfo, idx int, r
 		c.FPU = fpuResume{rb}
 	}
 	d := track(cfg.Module, c)
+	log := attachGuards(cfg, c)
 	c.Load(cfg.Image)
 	halt := c.RunCtx(ctx, cfg.MaxCycles)
 	if halt == cpu.HaltInterrupted {
@@ -512,7 +522,7 @@ func runContinuation(ctx context.Context, cfg *Config, g *goldenInfo, idx int, r
 	if rb.err != nil {
 		return Result{}, false, fmt.Errorf("injection %d (%s): %w", idx, s.String(), rb.err)
 	}
-	return finish(cfg, idx, c, halt, g, d), true, nil
+	return finish(cfg, idx, c, halt, g, d, log), true, nil
 }
 
 // waveAcct is one unit's contribution to the campaign's PackedStats.

@@ -150,11 +150,16 @@ func ci(k, n int) string {
 
 // EscapeTable renders an injection campaign's per-class outcome counts
 // and escape rates (internal/inject) with 95% Wilson confidence
-// intervals on the escape rate.
+// intervals on the escape rate. Guarded campaigns gain two columns: how
+// many detections the runtime guards own (GrdDet — completed runs only
+// the guard log flagged) and how many runs fired a guard at all
+// (GrdFire, including masked ones); unguarded reports render exactly as
+// before.
 func EscapeTable(r *inject.Report) string {
+	guarded := len(r.Guards) > 0
 	var rows [][]string
 	for _, c := range r.Classes {
-		rows = append(rows, []string{
+		row := []string{
 			c.Class,
 			fmt.Sprint(c.Total),
 			fmt.Sprint(c.Detected),
@@ -163,9 +168,17 @@ func EscapeTable(r *inject.Report) string {
 			fmt.Sprint(c.StallCrash),
 			Pct(c.EscapeRate * 100),
 			ci(c.SDCEscape, c.Total),
-		})
+		}
+		if guarded {
+			row = append(row, fmt.Sprint(c.GuardDetected), fmt.Sprint(c.GuardFired))
+		}
+		rows = append(rows, row)
 	}
-	return Table([]string{"Class", "N", "Det.", "Masked", "SDC", "Stall", "Escape%", "95% CI"}, rows)
+	hdr := []string{"Class", "N", "Det.", "Masked", "SDC", "Stall", "Escape%", "95% CI"}
+	if guarded {
+		hdr = append(hdr, "GrdDet", "GrdFire")
+	}
+	return Table(hdr, rows)
 }
 
 // PackedStatsTable renders the packed campaign path's per-class wave

@@ -377,3 +377,15 @@ func (c *C) RegisterBus(d Bus, clk netlist.NetID, init uint64) Bus {
 	}
 	return out
 }
+
+// StickyAlarm instantiates a set-dominant alarm register: a DFF whose D
+// input is (Q | fire), so a single asserted cycle of fire latches the
+// alarm until reset. The runtime-guard checkers (alu.BuildGuarded,
+// fpu.BuildGuarded) use it to make one-cycle invariant violations
+// observable at module outputs.
+func (c *C) StickyAlarm(name string, fire, clk netlist.NetID) netlist.NetID {
+	q := c.B.Net()
+	d := c.Or(q, fire)
+	c.B.AddRaw(cell.DFF, name, []netlist.NetID{d}, clk, q, false)
+	return q
+}
