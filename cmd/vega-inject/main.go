@@ -15,6 +15,13 @@
 // as an extra detection source: completed runs whose state diverged
 // from golden but whose guard log fired are classified detected instead
 // of sdc-escape, and the escape table gains per-class guard columns.
+//
+// SIGINT/SIGTERM interrupt the campaign gracefully through the shared
+// internal/sigctx path (the same one fleetd workers drain through): the
+// current checkpoint wave is flushed, the partial report and any -json
+// output are written, and the process exits with code 130 so wrappers
+// can tell an interrupted run from a failed one. A second signal kills
+// immediately.
 package main
 
 import (
@@ -29,16 +36,25 @@ import (
 	"repro/internal/core"
 	"repro/internal/inject"
 	"repro/internal/report"
+	"repro/internal/sigctx"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := sigctx.Notify(context.Background())
+	err := run(ctx, os.Args[1:], os.Stdout)
+	interrupted := sigctx.Interrupted(ctx) // before stop(): stop cancels too
+	stop()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "vega-inject:", err)
 		os.Exit(1)
 	}
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "vega-inject: interrupted — checkpoint flushed, resume with -checkpoint")
+		os.Exit(sigctx.ExitInterrupted)
+	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("vega-inject", flag.ContinueOnError)
 	unit := fs.String("unit", "ALU", "unit to inject (ALU or FPU)")
 	seed := fs.Uint64("seed", 1, "fault-universe sampling seed")
@@ -76,7 +92,6 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "suite: %d cases; sampling %d injections per class (seed %d, mode %s)\n",
 		len(w.Suite().Cases), *perClass, *seed, *mode)
 
-	ctx := context.Background()
 	if *deadline > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *deadline)
@@ -100,7 +115,11 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "campaign: %d/%d injections classified in %s", rep.Completed, rep.Total,
 		time.Since(start).Round(time.Millisecond))
 	if rep.Partial {
-		fmt.Fprintf(out, " (PARTIAL — deadline hit; coverage so far, resume with -checkpoint)")
+		if sigctx.Interrupted(ctx) {
+			fmt.Fprintf(out, " (PARTIAL — interrupted; coverage so far, resume with -checkpoint)")
+		} else {
+			fmt.Fprintf(out, " (PARTIAL — deadline hit; coverage so far, resume with -checkpoint)")
+		}
 	}
 	fmt.Fprintln(out)
 

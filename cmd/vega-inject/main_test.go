@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -10,7 +11,7 @@ import (
 // the totals line must all appear in the output.
 func TestRunSmokeStats(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{"-unit", "ALU", "-n", "2", "-seed", "3", "-j", "1", "-stats"}, &out)
+	err := run(context.Background(), []string{"-unit", "ALU", "-n", "2", "-seed", "3", "-j", "1", "-stats"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func TestRunSmokeStats(t *testing.T) {
 // fabricate a table.
 func TestRunScalarStats(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{"-unit", "ALU", "-n", "1", "-seed", "3", "-j", "1", "-scalar", "-stats"}, &out)
+	err := run(context.Background(), []string{"-unit", "ALU", "-n", "1", "-seed", "3", "-j", "1", "-scalar", "-stats"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestRunScalarStats(t *testing.T) {
 // an os.Exit, so the CLI surface stays testable.
 func TestRunBadUnit(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-unit", "VPU"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-unit", "VPU"}, &out); err == nil {
 		t.Fatal("expected error for unknown unit")
 	}
 }
@@ -57,7 +58,7 @@ func TestRunBadUnit(t *testing.T) {
 // the guard columns and the totals must attribute guard catches.
 func TestRunGuards(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{"-unit", "ALU", "-n", "2", "-seed", "3", "-j", "1", "-guards", "all"}, &out)
+	err := run(context.Background(), []string{"-unit", "ALU", "-n", "2", "-seed", "3", "-j", "1", "-guards", "all"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestRunGuards(t *testing.T) {
 // naming the available guards.
 func TestRunBadGuard(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{"-unit", "ALU", "-n", "1", "-j", "1", "-guards", "res9"}, &out)
+	err := run(context.Background(), []string{"-unit", "ALU", "-n", "1", "-j", "1", "-guards", "res9"}, &out)
 	if err == nil {
 		t.Fatal("expected error for unknown guard")
 	}

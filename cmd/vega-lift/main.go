@@ -1,16 +1,24 @@
 // vega-lift runs Error Lifting for the ALU and FPU, with and without the
 // initial-value-dependency mitigation, and prints the paper's Table 4
 // (construction outcomes) and Table 5 (suite sizes and cycle costs).
+//
+// SIGINT/SIGTERM are honoured at (unit, mitigation) boundaries via the
+// shared internal/sigctx path: the lift currently running finishes, the
+// tables cover the combinations completed so far, and the process exits
+// with code 130. A second signal kills immediately.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/lift"
 	"repro/internal/report"
+	"repro/internal/sigctx"
 )
 
 func main() {
@@ -18,9 +26,17 @@ func main() {
 	jobs := flag.Int("j", 0, "worker parallelism (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
 
+	ctx, stopSignals := sigctx.Notify(context.Background())
+	defer stopSignals()
+
 	var t4rows, t5rows, statRows [][]string
+lifts:
 	for _, mitigation := range []bool{false, true} {
 		for _, mk := range []func(core.Config) *core.Workflow{core.NewALU, core.NewFPU} {
+			if sigctx.Interrupted(ctx) {
+				fmt.Println("interrupted — skipping remaining configurations")
+				break lifts
+			}
 			w := mk(core.Config{Years: *years, Parallelism: *jobs, Lift: lift.Config{Mitigation: mitigation}})
 			fmt.Printf("lifting %s (mitigation=%v) ...\n", w.Describe(), mitigation)
 			if _, err := w.ErrorLifting(); err != nil {
@@ -63,6 +79,9 @@ func main() {
 	fmt.Print(report.Table(
 		[]string{"Unit", "Config", "Outcome", "Attempts", "Depth", "Solves",
 			"Conflicts", "Propagations", "Restarts", "Learnts"}, statRows))
+	if sigctx.Interrupted(ctx) {
+		os.Exit(sigctx.ExitInterrupted)
+	}
 }
 
 func cfgName(mitigation bool) string {

@@ -1,18 +1,26 @@
 // vega-sta runs the Aging Analysis phase for the ALU and FPU and prints
 // the paper's Table 3 (aging-aware STA results) and Figure 8 (delay-
 // degradation histogram).
+//
+// SIGINT/SIGTERM are honoured at unit boundaries via the shared
+// internal/sigctx path: the unit currently being analyzed finishes, the
+// tables cover the units completed so far, and the process exits with
+// code 130. A second signal kills immediately.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"runtime"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/report"
+	"repro/internal/sigctx"
 	"repro/internal/sta"
 )
 
@@ -50,9 +58,16 @@ func main() {
 		"print per-phase wall time and bytes allocated (profile, timing-graph compile, analysis) plus compiled-artifact cache counters")
 	flag.Parse()
 
+	ctx, stopSignals := sigctx.Notify(context.Background())
+	defer stopSignals()
+
 	cfg := core.Config{Years: *years, Parallelism: *jobs}
 	var rows [][]string
 	for _, mk := range []func(core.Config) *core.Workflow{core.NewALU, core.NewFPU} {
+		if sigctx.Interrupted(ctx) {
+			fmt.Println("interrupted — skipping remaining units")
+			break
+		}
 		w := mk(cfg)
 		fmt.Printf("analyzing %s ...\n", w.Describe())
 		if *randomSP > 0 {
@@ -129,5 +144,8 @@ func main() {
 		fmt.Printf("\ncaches: programs %d/%d hit (%d resident, %d evicted), graphs %d/%d hit (%d resident, %d evicted)\n",
 			es.Hits, es.Hits+es.Misses, es.Len, es.Evictions,
 			gs.Hits, gs.Hits+gs.Misses, gs.Len, gs.Evictions)
+	}
+	if sigctx.Interrupted(ctx) {
+		os.Exit(sigctx.ExitInterrupted)
 	}
 }

@@ -34,6 +34,10 @@ type InjectOptions struct {
 	CheckpointPath string
 	// CheckpointEvery overrides the wave size between checkpoints.
 	CheckpointEvery int
+	// OnCheckpoint, when set, observes every checkpoint write with the
+	// number of completed injections (see inject.Config.OnCheckpoint) —
+	// the progress hook the fleet daemon surfaces on GET /jobs/{id}.
+	OnCheckpoint func(done int)
 	// Scalar forces the one-replay-per-injection baseline path instead
 	// of packed concurrent fault simulation (differential debugging).
 	Scalar bool
@@ -127,6 +131,7 @@ func (w *Workflow) InjectionCampaignStats(ctx context.Context, opts InjectOption
 		Parallelism:     w.Config.Parallelism,
 		CheckpointPath:  opts.CheckpointPath,
 		CheckpointEvery: opts.CheckpointEvery,
+		OnCheckpoint:    opts.OnCheckpoint,
 		Scalar:          opts.Scalar,
 		Guards:          opts.Guards,
 	})

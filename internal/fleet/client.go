@@ -1,0 +1,174 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client talks to a fleetd instance. The zero HTTP field uses a
+// transport sized for load-test fan-out (many concurrent keep-alive
+// connections to one host), which is also fine for a single caller.
+type Client struct {
+	// Base is the daemon's base URL, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP overrides the underlying client (optional).
+	HTTP *http.Client
+}
+
+// defaultHTTP is shared by all zero-field Clients so the load-test's
+// thousands of goroutines pool connections instead of exhausting
+// ephemeral ports.
+var defaultHTTP = &http.Client{
+	Transport: &http.Transport{
+		MaxIdleConns:        512,
+		MaxIdleConnsPerHost: 512,
+	},
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return defaultHTTP
+}
+
+// errorBody decodes the daemon's {"error": ...} payload.
+func errorBody(resp *http.Response) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	data, _ := io.ReadAll(resp.Body)
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return fmt.Errorf("fleet: %s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("fleet: %s", resp.Status)
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return errorBody(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts a job spec and returns the accepted record.
+func (c *Client) Submit(ctx context.Context, spec Spec) (*Job, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, errorBody(resp)
+	}
+	var j Job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Job fetches one job record (without its result payload).
+func (c *Client) Job(ctx context.Context, id string) (*Job, error) {
+	var j Job
+	if err := c.getJSON(ctx, "/jobs/"+id, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Wait polls until the job leaves the queued/running states, with a
+// short exponential backoff so thousands of concurrent waiters don't
+// hammer the daemon.
+func (c *Client) Wait(ctx context.Context, id string) (*Job, error) {
+	delay := 2 * time.Millisecond
+	const maxDelay = 250 * time.Millisecond
+	for {
+		j, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if j.Status != StatusQueued && j.Status != StatusRunning {
+			return j, nil
+		}
+		select {
+		case <-ctx.Done():
+			return j, ctx.Err()
+		case <-time.After(delay):
+		}
+		if delay < maxDelay {
+			delay *= 2
+		}
+	}
+}
+
+// Result fetches a finished job's raw result payload.
+func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, errorBody(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Cancel requests cancellation and returns the (possibly already
+// updated) record.
+func (c *Client) Cancel(ctx context.Context, id string) (*Job, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.Base+"/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, errorBody(resp)
+	}
+	var j Job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Metrics fetches the daemon's store counters and job census.
+func (c *Client) Metrics(ctx context.Context) (*Metrics, error) {
+	var m Metrics
+	if err := c.getJSON(ctx, "/metrics", &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

@@ -1,0 +1,238 @@
+// Package fleet is the screening daemon behind cmd/vega-fleetd: an
+// HTTP/JSON service that accepts netlist and workload-profile
+// submissions, shards them across a bounded worker pool built on
+// internal/par, and serves results and progress over a small REST
+// surface (POST /jobs, GET /jobs/{id}, GET /jobs/{id}/result,
+// DELETE /jobs/{id}, GET /metrics).
+//
+// Three job kinds cover the workflow phases a screening fleet runs at
+// scale:
+//
+//   - "lift": error-lift a built-in unit (ALU/FPU) and return the test
+//     suite, byte-identical to the vega-lift library path.
+//   - "sweep": aging-aware lifetime sweep of a SUBMITTED gate-level
+//     Verilog netlist under a random-stimulus SP profile, byte-identical
+//     to calling sta.AnalyzeCorners directly.
+//   - "campaign": fault-injection campaign against a built-in unit's
+//     lifted suite, byte-identical to the vega-inject library path,
+//     checkpointed per wave so a killed daemon resumes the job on
+//     restart to the identical final report.
+//
+// The perf core is a single content-addressed artifact store
+// (internal/store) shared by every worker: submissions are canonicalized
+// by the hash of their content, so N concurrent submissions of the same
+// netlist compile it exactly once (singleflight) and every later
+// submission reuses the parsed netlist, compiled engine program, timing
+// graph, SP profile and corner-library grid. /metrics exposes the
+// hit/coalesced/build/eviction counters that the load-test harness
+// (internal/fleet/loadtest) turns into the warm-vs-cold latency curve in
+// BENCH_fleetd.json.
+//
+// Job state is persisted under Options.Dir with the same atomic-rename
+// discipline as the injection checkpoints, so jobs survive a daemon
+// restart: queued and interrupted-running jobs are requeued, and
+// campaign jobs resume from their per-job checkpoint file.
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Job kinds.
+const (
+	KindLift     = "lift"
+	KindSweep    = "sweep"
+	KindCampaign = "campaign"
+)
+
+// Job statuses. Lifecycle: queued -> running -> done | failed |
+// cancelled. A daemon restart moves interrupted running jobs back to
+// queued.
+const (
+	StatusQueued    = "queued"
+	StatusRunning   = "running"
+	StatusDone      = "done"
+	StatusFailed    = "failed"
+	StatusCancelled = "cancelled"
+)
+
+// Spec is a job submission. Kind selects which fields matter; unknown
+// kinds are rejected at submit time.
+type Spec struct {
+	Kind string `json:"kind"`
+
+	// Unit selects the built-in unit for lift and campaign jobs
+	// ("ALU" or "FPU").
+	Unit string `json:"unit,omitempty"`
+	// Years is the assumed lifetime for lift/campaign workflows
+	// (default 10, like the CLIs).
+	Years float64 `json:"years,omitempty"`
+	// Mitigation enables the initial-value-dependency mitigation for
+	// lift jobs.
+	Mitigation bool `json:"mitigation,omitempty"`
+
+	// Campaign parameters (see core.InjectOptions).
+	Seed            uint64 `json:"seed,omitempty"`
+	PerClass        int    `json:"per_class,omitempty"`
+	MaxCycles       uint64 `json:"max_cycles,omitempty"`
+	CheckpointEvery int    `json:"checkpoint_every,omitempty"`
+
+	// Sweep parameters: a gate-level Verilog netlist plus the
+	// workload-profile spec (random-stimulus packed cycles and seed)
+	// and the lifetime grid to analyze.
+	Verilog string `json:"verilog,omitempty"`
+	// Margin sets the clock period as CriticalDelay * Margin
+	// (default 1.05, the scale-bench signoff convention).
+	Margin float64 `json:"margin,omitempty"`
+	// SPCycles is the number of 64-lane packed random-stimulus cycles
+	// profiled (default 256); SPSeed seeds the stimulus streams.
+	SPCycles int   `json:"sp_cycles,omitempty"`
+	SPSeed   int64 `json:"sp_seed,omitempty"`
+	// YearsGrid lists the sweep lifetimes (default 0, 3.3, 6.6, 10).
+	YearsGrid []float64 `json:"years_grid,omitempty"`
+}
+
+// fill applies the spec defaults shared by the runner and the cache-key
+// derivation (both must see identical values or warm probes would miss).
+func (sp *Spec) fill() {
+	if sp.Years == 0 {
+		sp.Years = 10
+	}
+	switch sp.Kind {
+	case KindCampaign:
+		if sp.PerClass == 0 {
+			sp.PerClass = 25
+		}
+	case KindSweep:
+		if sp.Margin == 0 {
+			sp.Margin = 1.05
+		}
+		if sp.SPCycles == 0 {
+			sp.SPCycles = 256
+		}
+		if len(sp.YearsGrid) == 0 {
+			sp.YearsGrid = []float64{0, 3.3, 6.6, 10}
+		}
+	}
+}
+
+// validate rejects malformed submissions before they reach the queue.
+func (sp *Spec) validate() error {
+	switch sp.Kind {
+	case KindLift, KindCampaign:
+		if sp.Unit != "ALU" && sp.Unit != "FPU" {
+			return fmt.Errorf("fleet: %s job needs unit ALU or FPU, got %q", sp.Kind, sp.Unit)
+		}
+	case KindSweep:
+		if strings.TrimSpace(sp.Verilog) == "" {
+			return fmt.Errorf("fleet: sweep job needs a verilog netlist")
+		}
+	default:
+		return fmt.Errorf("fleet: unknown job kind %q", sp.Kind)
+	}
+	return nil
+}
+
+// Progress reports campaign completion (injections classified so far,
+// out of the sampled universe). Zero for kinds without incremental
+// progress.
+type Progress struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// Job is the persisted record of one submission. Result holds the
+// job-kind-specific payload once Status is done (or a partial campaign
+// report when cancelled mid-run).
+type Job struct {
+	ID     string `json:"id"`
+	Spec   Spec   `json:"spec"`
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+	// CacheHit records whether the job's deepest compile artifact was
+	// already resident in the shared store at submit time — the
+	// warm/cold marker the load-test latency split keys on.
+	CacheHit bool `json:"cache_hit"`
+	// ServiceMs is the wall time the job spent executing on its worker
+	// (excluding queue wait) — the latency the cache actually shortens,
+	// measured server-side so client-side queueing can't distort the
+	// load-test curve.
+	ServiceMs float64         `json:"service_ms,omitempty"`
+	Progress  Progress        `json:"progress"`
+	Result   json.RawMessage `json:"result,omitempty"`
+
+	// ckpt is the campaign checkpoint path, derived from the state dir
+	// and ID by the server (not persisted — the derivation is the
+	// contract, so restarted daemons find the same file).
+	ckpt string
+}
+
+// SweepPoint is one lifetime sample of a sweep job's result, mirroring
+// core.OnsetPoint so daemon results line up with the library sweep.
+type SweepPoint struct {
+	Years           float64 `json:"years"`
+	WNSSetup        float64 `json:"wns_setup"`
+	WNSHold         float64 `json:"wns_hold"`
+	SetupViolations int     `json:"setup_violations"`
+	HoldViolations  int     `json:"hold_violations"`
+}
+
+// SweepResult is a sweep job's payload.
+type SweepResult struct {
+	Netlist  string       `json:"netlist"` // module name from the parsed source
+	Cells    int          `json:"cells"`
+	PeriodPs float64      `json:"period_ps"`
+	Points   []SweepPoint `json:"points"`
+}
+
+// jobPath is the job's persisted record; ckptPath is the campaign
+// checkpoint file the injection engine owns.
+func jobPath(dir, id string) string  { return filepath.Join(dir, id+".json") }
+func ckptPath(dir, id string) string { return filepath.Join(dir, id+".ckpt") }
+
+// saveJob persists j under dir with the atomic-rename discipline the
+// checkpoint files use: a torn write can never corrupt the record a
+// restarting daemon recovers from.
+func saveJob(dir string, j *Job) error {
+	data, err := json.MarshalIndent(j, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := jobPath(dir, j.ID) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, jobPath(dir, j.ID))
+}
+
+// loadJobs recovers every persisted job record in dir, sorted by ID so
+// requeue order is deterministic across restarts.
+func loadJobs(dir string) ([]*Job, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var jobs []*Job
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		var j Job
+		if err := json.Unmarshal(data, &j); err != nil {
+			return nil, fmt.Errorf("fleet: corrupt job record %s: %w", name, err)
+		}
+		jobs = append(jobs, &j)
+	}
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].ID < jobs[b].ID })
+	return jobs, nil
+}

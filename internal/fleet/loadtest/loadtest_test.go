@@ -1,0 +1,102 @@
+package loadtest
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/fleet"
+)
+
+// startDaemon brings up an in-process fleetd over an HTTP test listener.
+func startDaemon(t testing.TB, opts fleet.Options) (*fleet.Server, *fleet.Client) {
+	t.Helper()
+	opts.Dir = t.TempDir()
+	s, err := fleet.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	h := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		h.Close()
+		_ = s.Shutdown(context.Background())
+	})
+	return s, &fleet.Client{Base: h.URL}
+}
+
+// TestLoadBurst is the short race-mode burst CI runs: a concurrent
+// submission storm against a live daemon, checking the run completes,
+// the warm/cold split is populated, and the store counters add up.
+func TestLoadBurst(t *testing.T) {
+	s, c := startDaemon(t, fleet.Options{Workers: 8})
+	cfg := Config{Jobs: 60, Concurrency: 16, Cells: 400, SPCycles: 32, HotVariants: 3, ColdEvery: 6}
+	rep, err := Run(context.Background(), cfg, c, s.Store())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Warm.Count+rep.Cold.Count+rep.FirstWave.Count != cfg.Jobs {
+		t.Errorf("split %d warm + %d cold + %d first-wave != %d jobs",
+			rep.Warm.Count, rep.Cold.Count, rep.FirstWave.Count, cfg.Jobs)
+	}
+	if rep.Warm.Count == 0 {
+		t.Error("no warm submissions — hot population never became resident")
+	}
+	if want := cfg.Jobs / cfg.ColdEvery; rep.Cold.Count != want {
+		t.Errorf("%d cold submissions, want exactly %d (by construction)", rep.Cold.Count, want)
+	}
+	st := rep.Store
+	if st.Inflight != 0 {
+		t.Errorf("%d builds still in flight at rest", st.Inflight)
+	}
+	if st.Builds == 0 || st.Hits == 0 {
+		t.Errorf("store counters implausible for a hot/cold mix: %+v", st)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil || len(data) == 0 {
+		t.Fatalf("report does not serialize: %v", err)
+	}
+}
+
+// TestPopulationDeterminism pins that the population depends on Config
+// alone — the cold submissions really are unique, and the hot ones
+// really repeat.
+func TestPopulationDeterminism(t *testing.T) {
+	cfg := Config{Jobs: 40, HotVariants: 3, ColdEvery: 8, Cells: 300}
+	a, b := Population(cfg), Population(cfg)
+	if len(a) != 40 {
+		t.Fatalf("population size %d", len(a))
+	}
+	seen := map[string]int{}
+	for i := range a {
+		if a[i].Verilog != b[i].Verilog {
+			t.Fatalf("population not deterministic at %d", i)
+		}
+		seen[a[i].Verilog]++
+	}
+	// 5 cold uniques + 3 hot variants.
+	uniq := len(seen)
+	if want := 5 + 3; uniq != want {
+		t.Errorf("%d distinct netlists, want %d", uniq, want)
+	}
+}
+
+// BenchmarkFleetd measures one scaled-down load-test round trip per
+// iteration — the e2e cost of a mixed burst through the HTTP surface,
+// worker pool and shared store.
+func BenchmarkFleetd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, c := startDaemon(b, fleet.Options{Workers: 8})
+		b.StartTimer()
+		rep, err := Run(context.Background(),
+			Config{Jobs: 100, Concurrency: 32, Cells: 1000, SPCycles: 64}, c, s.Store())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.Warm.P50Ms, "warm-p50-ms")
+		b.ReportMetric(rep.Cold.P50Ms, "cold-p50-ms")
+		b.ReportMetric(rep.WarmColdP50Ratio, "cold/warm-p50")
+	}
+}

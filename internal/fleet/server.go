@@ -1,0 +1,436 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/par"
+	"repro/internal/store"
+)
+
+// Options tunes a Server.
+type Options struct {
+	// Dir is the job-state directory (required). Job records and
+	// campaign checkpoints persist here; a daemon restarted on the same
+	// directory requeues interrupted work.
+	Dir string
+	// Workers bounds the worker pool (default 4): at most this many
+	// jobs execute concurrently.
+	Workers int
+	// Parallelism bounds each job's internal fan-out (default 1: the
+	// pool provides the concurrency, jobs stay sequential inside).
+	// Results are byte-identical at every setting.
+	Parallelism int
+	// CacheCap bounds the shared content-addressed store (default 128
+	// artifacts).
+	CacheCap int
+}
+
+func (o *Options) fill() {
+	if o.Workers == 0 {
+		o.Workers = 4
+	}
+	if o.Parallelism == 0 {
+		o.Parallelism = 1
+	}
+	if o.CacheCap == 0 {
+		o.CacheCap = 128
+	}
+}
+
+// Server is the fleet daemon: a job queue, a bounded worker pool built
+// on par.ForEach, and the shared content-addressed artifact store.
+type Server struct {
+	opts   Options
+	store  *store.Store
+	runner *runner
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	cancels map[string]context.CancelFunc // running jobs only
+	seq     int
+	closed  bool
+
+	queue    chan string
+	ctx      context.Context // cancelled by Shutdown: drains workers
+	cancel   context.CancelFunc
+	workers  sync.WaitGroup
+	draining bool // set under mu by Shutdown before cancelling
+
+	// progressHook, when set before Start, observes every progress
+	// update outside the server lock — the deterministic interruption
+	// point the restart/resume tests use.
+	progressHook func(id string, p Progress)
+}
+
+// queueCap bounds the submission backlog. Submissions beyond it fail
+// fast with 503 instead of blocking the HTTP handler.
+const queueCap = 8192
+
+// New creates a server over opts.Dir, recovering persisted job state:
+// done/failed/cancelled records are served as-is, queued records and
+// running records from an interrupted daemon are requeued (campaign
+// jobs then resume from their checkpoint files). Call Start to launch
+// the workers.
+func New(opts Options) (*Server, error) {
+	opts.fill()
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("fleet: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	st := store.New(opts.CacheCap)
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:    opts,
+		store:   st,
+		runner:  &runner{store: st, parallelism: opts.Parallelism},
+		jobs:    make(map[string]*Job),
+		cancels: make(map[string]context.CancelFunc),
+		queue:   make(chan string, queueCap),
+		ctx:     ctx,
+		cancel:  cancel,
+	}
+	prior, err := loadJobs(opts.Dir)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	for _, j := range prior {
+		j.ckpt = ckptPath(opts.Dir, j.ID)
+		if j.Status == StatusRunning || j.Status == StatusQueued {
+			j.Status = StatusQueued
+			if err := saveJob(opts.Dir, j); err != nil {
+				cancel()
+				return nil, err
+			}
+			s.queue <- j.ID
+		}
+		s.jobs[j.ID] = j
+		// Keep seq ahead of every recovered ID (IDs are zero-padded,
+		// so the lexicographic max is the numeric max).
+		var n int
+		if _, err := fmt.Sscanf(j.ID, "j%06d", &n); err == nil && n > s.seq {
+			s.seq = n
+		}
+	}
+	return s, nil
+}
+
+// Start launches the worker pool: par.ForEach with one task per worker
+// slot, each draining the queue until Shutdown. The pool IS the
+// concurrency bound — jobs beyond Workers wait in the queue.
+func (s *Server) Start() {
+	s.workers.Add(1)
+	go func() {
+		defer s.workers.Done()
+		// Error-free by construction: worker loops return nil.
+		_ = par.ForEach(context.Background(), s.opts.Workers, s.opts.Workers,
+			func(_ context.Context, i int) error {
+				s.worker()
+				return nil
+			})
+	}()
+}
+
+// worker drains the queue until the server context cancels.
+func (s *Server) worker() {
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case id := <-s.queue:
+			s.execute(id)
+		}
+	}
+}
+
+// execute runs one job end to end, persisting each state transition.
+func (s *Server) execute(id string) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok || j.Status != StatusQueued {
+		// Cancelled while queued, or stale entry.
+		s.mu.Unlock()
+		return
+	}
+	jctx, jcancel := context.WithCancel(s.ctx)
+	j.Status = StatusRunning
+	s.cancels[id] = jcancel
+	spec := j.Spec // runner reads the copy; record stays handler-owned
+	_ = saveJob(s.opts.Dir, j)
+	s.mu.Unlock()
+	defer jcancel()
+
+	started := time.Now()
+	work := &Job{ID: j.ID, Spec: spec, ckpt: j.ckpt}
+	result, err := s.runner.run(jctx, work, func(done, total int) {
+		p := Progress{Done: done, Total: total}
+		s.mu.Lock()
+		j.Progress = p
+		s.mu.Unlock()
+		if s.progressHook != nil {
+			s.progressHook(id, p)
+		}
+	})
+
+	elapsed := time.Since(started)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.cancels, id)
+	j.ServiceMs = float64(elapsed.Microseconds()) / 1000
+	switch {
+	case err == errPartial && s.draining:
+		// Daemon shutdown mid-campaign: the wave checkpoint is on disk,
+		// requeue so a restarted daemon resumes to the identical report.
+		j.Status = StatusQueued
+	case err == errPartial:
+		// User cancel: record the partial report for inspection.
+		j.Status = StatusCancelled
+		j.Result = result
+	case err != nil && jctx.Err() != nil && s.draining:
+		// Interrupted non-campaign work has no partial value; requeue.
+		j.Status = StatusQueued
+	case err != nil && jctx.Err() != nil:
+		j.Status = StatusCancelled
+	case err != nil:
+		j.Status = StatusFailed
+		j.Error = err.Error()
+	default:
+		j.Status = StatusDone
+		j.Result = result
+		if j.Progress.Total > 0 {
+			j.Progress.Done = j.Progress.Total
+		}
+	}
+	_ = saveJob(s.opts.Dir, j)
+}
+
+// Submit validates and enqueues a spec, returning the new job record.
+func (s *Server) Submit(spec Spec) (*Job, error) {
+	spec.fill()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errClosed
+	}
+	s.seq++
+	j := &Job{
+		ID:       fmt.Sprintf("j%06d", s.seq),
+		Spec:     spec,
+		Status:   StatusQueued,
+		CacheHit: s.store.Contains(probeKey(&spec)),
+	}
+	if spec.Kind == KindCampaign {
+		j.Progress.Total = CampaignTotal(spec.PerClass)
+	}
+	j.ckpt = ckptPath(s.opts.Dir, j.ID)
+	if err := saveJob(s.opts.Dir, j); err != nil {
+		return nil, err
+	}
+	select {
+	case s.queue <- j.ID:
+	default:
+		return nil, errQueueFull
+	}
+	s.jobs[j.ID] = j
+	return snapshot(j), nil
+}
+
+// Cancel cancels a job: queued jobs are marked cancelled immediately,
+// running jobs get their context cancelled (campaigns then flush a
+// checkpoint and record a partial report). Done jobs are left alone.
+func (s *Server) Cancel(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, errNotFound
+	}
+	switch j.Status {
+	case StatusQueued:
+		j.Status = StatusCancelled
+		_ = saveJob(s.opts.Dir, j)
+	case StatusRunning:
+		if c := s.cancels[id]; c != nil {
+			c()
+		}
+	}
+	return snapshot(j), nil
+}
+
+// Job returns a snapshot of one job record.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return snapshot(j), true
+}
+
+// Jobs returns snapshots of every job, sorted by ID.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, snapshot(j))
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Metrics is the /metrics payload: the shared store's counters plus the
+// job census.
+type Metrics struct {
+	Store store.Stats    `json:"store"`
+	Jobs  map[string]int `json:"jobs"`
+}
+
+// MetricsSnapshot assembles the current Metrics.
+func (s *Server) MetricsSnapshot() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := Metrics{Store: s.store.Stats(), Jobs: make(map[string]int)}
+	for _, j := range s.jobs {
+		m.Jobs[j.Status]++
+	}
+	return m
+}
+
+// Store exposes the shared artifact store (the load-test harness reads
+// its counters directly).
+func (s *Server) Store() *store.Store { return s.store }
+
+// Shutdown stops accepting submissions, cancels running jobs (campaigns
+// flush their current checkpoint wave and are requeued on disk), and
+// waits for the workers to drain, bounded by ctx.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.draining = true
+	s.mu.Unlock()
+	s.cancel()
+	done := make(chan struct{})
+	go func() { s.workers.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	// Workers are gone; any job still queued in memory stays queued on
+	// disk for the next daemon instance.
+	return nil
+}
+
+// snapshot deep-copies the fields handlers return, so records mutated
+// by workers never race with encoding.
+func snapshot(j *Job) *Job {
+	c := *j
+	return &c
+}
+
+// redact trims a snapshot down to what HTTP status views need: the
+// result payload has its own endpoint, and echoing a submitted netlist
+// source back on every poll would turn a thousand-waiter load test into
+// a bandwidth benchmark.
+func redact(j *Job) *Job {
+	j.Result = nil
+	j.Spec.Verilog = ""
+	return j
+}
+
+var (
+	errNotFound  = fmt.Errorf("fleet: no such job")
+	errQueueFull = fmt.Errorf("fleet: queue full (%d pending)", queueCap)
+	errClosed    = fmt.Errorf("fleet: server is shutting down")
+)
+
+// Handler returns the daemon's HTTP surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec Spec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		j, err := s.Submit(spec)
+		if err != nil {
+			code := http.StatusBadRequest
+			if errors.Is(err, errQueueFull) || errors.Is(err, errClosed) {
+				code = http.StatusServiceUnavailable
+			}
+			httpError(w, code, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, redact(j))
+	})
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		jobs := s.Jobs()
+		for i, j := range jobs {
+			jobs[i] = redact(j)
+		}
+		writeJSON(w, http.StatusOK, jobs)
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := s.Job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, errNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, redact(j))
+	})
+	mux.HandleFunc("GET /jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := s.Job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, errNotFound)
+			return
+		}
+		if j.Result == nil {
+			httpError(w, http.StatusConflict,
+				fmt.Errorf("fleet: job %s is %s, no result yet", j.ID, j.Status))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(j.Result)
+	})
+	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, err := s.Cancel(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, redact(j))
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,352 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/aging"
+	"repro/internal/cell"
+	"repro/internal/core"
+	"repro/internal/lift"
+	"repro/internal/netlist"
+	"repro/internal/sta"
+	"repro/internal/synth"
+)
+
+// newTestServer starts a daemon over a fresh state dir and an in-process
+// HTTP listener, returning the server, a client bound to it, and a
+// cleanup-registered shutdown.
+func newTestServer(t *testing.T, opts Options) (*Server, *Client) {
+	t.Helper()
+	if opts.Dir == "" {
+		opts.Dir = t.TempDir()
+	}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	h := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		h.Close()
+		_ = s.Shutdown(context.Background())
+	})
+	return s, &Client{Base: h.URL, HTTP: h.Client()}
+}
+
+// tinyVerilog synthesizes a small pipeline netlist as submission text.
+func tinyVerilog(lanes int) string {
+	return synth.Pipeline{Stages: 2, Width: 4, Lanes: lanes}.Build().Verilog()
+}
+
+// waitDone waits a job to done status, failing the test otherwise.
+func waitDone(t *testing.T, c *Client, id string) *Job {
+	t.Helper()
+	j, err := c.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatalf("wait %s: %v", id, err)
+	}
+	if j.Status != StatusDone {
+		t.Fatalf("job %s finished %s (error %q), want done", id, j.Status, j.Error)
+	}
+	return j
+}
+
+// TestSmoke drives the full HTTP surface: an ALU lift job and an ALU
+// campaign job (sharing one cached workflow), progress, results and
+// metrics.
+func TestSmoke(t *testing.T) {
+	_, c := newTestServer(t, Options{Workers: 2})
+	ctx := context.Background()
+
+	liftJob, err := c.Submit(ctx, Spec{Kind: KindLift, Unit: "ALU"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	campJob, err := c.Submit(ctx, Spec{Kind: KindCampaign, Unit: "ALU", Seed: 3, PerClass: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if liftJob.CacheHit || campJob.CacheHit {
+		t.Errorf("fresh submissions marked warm: lift=%v campaign=%v", liftJob.CacheHit, campJob.CacheHit)
+	}
+
+	lj := waitDone(t, c, liftJob.ID)
+	cj := waitDone(t, c, campJob.ID)
+	if cj.Progress.Done != cj.Progress.Total || cj.Progress.Total != CampaignTotal(2) {
+		t.Errorf("campaign progress %+v, want %d/%d", cj.Progress, CampaignTotal(2), CampaignTotal(2))
+	}
+
+	suiteBytes, err := c.Result(ctx, lj.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var suite lift.Suite
+	if err := json.Unmarshal(suiteBytes, &suite); err != nil {
+		t.Fatalf("lift result is not a suite: %v", err)
+	}
+	if suite.Unit != "ALU" || len(suite.Cases) == 0 {
+		t.Errorf("lift suite: unit %q, %d cases", suite.Unit, len(suite.Cases))
+	}
+
+	repBytes, err := c.Result(ctx, cj.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Unit      string
+		Completed int
+		Partial   bool
+	}
+	if err := json.Unmarshal(repBytes, &rep); err != nil {
+		t.Fatalf("campaign result is not a report: %v", err)
+	}
+	if rep.Unit != "ALU" || rep.Partial || rep.Completed != CampaignTotal(2) {
+		t.Errorf("campaign report: %+v", rep)
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Store.Builds == 0 {
+		t.Error("metrics: no store builds after two jobs")
+	}
+	// The two jobs share one (unit, years, mitigation) workflow: one
+	// build, and the campaign either hit the cache or coalesced onto the
+	// lift job's in-flight build.
+	if m.Store.Hits+m.Store.Coalesced == 0 {
+		t.Errorf("metrics: no sharing between lift and campaign: %+v", m.Store)
+	}
+	if m.Jobs[StatusDone] != 2 {
+		t.Errorf("metrics: job census %v, want 2 done", m.Jobs)
+	}
+}
+
+// TestDifferentialLift pins the byte-identity contract for lift jobs:
+// the daemon's result equals json.Marshal of the suite the library path
+// builds directly.
+func TestDifferentialLift(t *testing.T) {
+	_, c := newTestServer(t, Options{Workers: 1})
+	ctx := context.Background()
+	j, err := c.Submit(ctx, Spec{Kind: KindLift, Unit: "ALU", Mitigation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Result(ctx, waitDone(t, c, j.ID).ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w := core.NewALU(core.Config{Years: 10, Parallelism: 1, Lift: lift.Config{Mitigation: true}})
+	if _, err := w.ErrorLifting(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(w.Suite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("lift result diverges from library path:\n daemon %d bytes\n direct %d bytes", len(got), len(want))
+	}
+}
+
+// TestDifferentialSweep pins the byte-identity contract for sweep jobs
+// against the direct sta.AnalyzeCorners path over the same submitted
+// netlist text.
+func TestDifferentialSweep(t *testing.T) {
+	_, c := newTestServer(t, Options{Workers: 1})
+	ctx := context.Background()
+	src := tinyVerilog(2)
+	spec := Spec{Kind: KindSweep, Verilog: src, SPCycles: 64, SPSeed: 7, YearsGrid: []float64{0, 5, 10}}
+	j, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Result(ctx, waitDone(t, c, j.ID).ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The library path, with no store in sight.
+	nl, err := netlist.ParseVerilog(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := cell.Lib28()
+	period := sta.CriticalDelay(nl, lib) * 1.05
+	prof, err := core.RandomSP(nl, 64, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sta.BatchConfig{
+		PeriodPs: period, Base: lib, Model: aging.Default(),
+		Profile: prof, PerEndpoint: 40, Parallelism: 1,
+	}
+	corners := []sta.Corner{{}, {Years: 5}, {Years: 10}}
+	results := sta.AnalyzeCorners(nl, cfg, corners)
+	want := SweepResult{Netlist: nl.Name, Cells: len(nl.Cells), PeriodPs: period}
+	for i, res := range results {
+		want.Points = append(want.Points, SweepPoint{
+			Years:           spec.YearsGrid[i],
+			WNSSetup:        res.WNSSetup,
+			WNSHold:         res.WNSHold,
+			SetupViolations: res.NumSetupViolations,
+			HoldViolations:  res.NumHoldViolations,
+		})
+	}
+	wantBytes, err := json.MarshalIndent(want, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, wantBytes) {
+		t.Errorf("sweep result diverges from library path:\n daemon: %s\n direct: %s", got, wantBytes)
+	}
+}
+
+// TestDifferentialCampaign pins the byte-identity contract for campaign
+// jobs against the direct library path (same seed, same universe).
+func TestDifferentialCampaign(t *testing.T) {
+	_, c := newTestServer(t, Options{Workers: 1})
+	ctx := context.Background()
+	j, err := c.Submit(ctx, Spec{Kind: KindCampaign, Unit: "ALU", Seed: 9, PerClass: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Result(ctx, waitDone(t, c, j.ID).ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w := core.NewALU(core.Config{Years: 10, Parallelism: 1})
+	if _, err := w.ErrorLifting(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := w.InjectionCampaign(ctx, core.InjectOptions{Seed: 9, PerClass: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("campaign result diverges from library path:\n daemon %d bytes\n direct %d bytes", len(got), len(want))
+	}
+}
+
+// TestDaemonSingleflight submits many identical sweep jobs concurrently
+// and asserts the store compiled each artifact of the chain exactly
+// once: the perf claim of the shared content-addressed cache, enforced
+// at the daemon level rather than the store's own unit tests.
+func TestDaemonSingleflight(t *testing.T) {
+	s, c := newTestServer(t, Options{Workers: 8})
+	ctx := context.Background()
+	src := tinyVerilog(1)
+	const K = 16
+
+	ids := make([]string, K)
+	var wg sync.WaitGroup
+	errs := make([]error, K)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			j, err := c.Submit(ctx, Spec{Kind: KindSweep, Verilog: src, SPCycles: 32})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			ids[i] = j.ID
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var results [][]byte
+	for _, id := range ids {
+		got, err := c.Result(ctx, waitDone(t, c, id).ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, got)
+	}
+	for i := 1; i < K; i++ {
+		if !bytes.Equal(results[i], results[0]) {
+			t.Fatalf("submission %d returned different bytes than submission 0", i)
+		}
+	}
+
+	st := s.Store().Stats()
+	// The sweep chain publishes exactly 4 artifacts: netlist, period,
+	// profile, corner grid. K identical jobs must build each once.
+	if st.Builds != 4 {
+		t.Errorf("store built %d artifacts for %d identical submissions, want 4 (compile-once)", st.Builds, K)
+	}
+	if got, want := st.Hits+st.Coalesced, uint64(4*(K-1)); got != want {
+		t.Errorf("store reuse %d (hits %d + coalesced %d), want %d", got, st.Hits, st.Coalesced, want)
+	}
+	if st.Inflight != 0 {
+		t.Errorf("store still has %d in-flight builds at rest", st.Inflight)
+	}
+}
+
+// TestValidationAndCancel exercises the submission guard rails and
+// queued-job cancellation.
+func TestValidationAndCancel(t *testing.T) {
+	s, c := newTestServer(t, Options{Workers: 1})
+	ctx := context.Background()
+
+	for _, bad := range []Spec{
+		{Kind: "mine"},
+		{Kind: KindLift, Unit: "VPU"},
+		{Kind: KindSweep},
+	} {
+		if _, err := c.Submit(ctx, bad); err == nil {
+			t.Errorf("spec %+v accepted, want rejection", bad)
+		}
+	}
+	if _, err := c.Job(ctx, "j999999"); err == nil {
+		t.Error("lookup of unknown job succeeded")
+	}
+
+	// Saturate the single worker with a slow job (a full ALU lift), then
+	// cancel a queued one behind it: it must go straight to cancelled
+	// without running.
+	busy, err := c.Submit(ctx, Spec{Kind: KindLift, Unit: "ALU"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := c.Submit(ctx, Spec{Kind: KindSweep, Verilog: tinyVerilog(2), SPCycles: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cj, err := c.Cancel(ctx, queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cj.Status == StatusDone || cj.Status == StatusFailed {
+		t.Errorf("cancelled queued job reports %s", cj.Status)
+	}
+	final, err := c.Wait(ctx, queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != StatusCancelled {
+		t.Errorf("queued job finished %s after cancel, want cancelled", final.Status)
+	}
+	waitDone(t, c, busy.ID)
+
+	// The cancelled record survives in the census.
+	m := s.MetricsSnapshot()
+	if m.Jobs[StatusCancelled] != 1 {
+		t.Errorf("census %v, want 1 cancelled", m.Jobs)
+	}
+}

@@ -1,17 +1,24 @@
 // Package lru provides the small bounded LRU cache behind the compile
-// memoizers (engine.Cached, sta.CachedGraph). Those caches used to wipe
-// themselves wholesale at capacity, which made every long fault-injection
-// or test-quality campaign pay a periodic recompile storm for its hottest
-// netlists; a real least-recently-used policy keeps the working set warm
-// and evicts only the one-shot entries. The counters exported through
-// Stats are the groundwork for the ROADMAP's content-addressed artifact
-// store: hit/miss/eviction rates are what decide whether an artifact is
-// worth persisting.
+// memoizers (engine.Cached, sta.CachedGraph) and the fleet daemon's
+// shared content-addressed artifact store (internal/store). Those caches
+// used to wipe themselves wholesale at capacity, which made every long
+// fault-injection or test-quality campaign pay a periodic recompile
+// storm for its hottest netlists; a real least-recently-used policy
+// keeps the working set warm and evicts only the one-shot entries. The
+// counters exported through Stats are what decide whether an artifact
+// is worth persisting.
 //
-// The cache is not internally locked — callers already serialize access
-// with the mutex that guards their map, and double-locking here would
-// just add contention on the compile fast path.
+// The cache is internally locked and safe for concurrent use. The
+// compile memoizers still hold their own mutex across the
+// get-miss-compile-add sequence (the lock here cannot make a compound
+// sequence atomic), so for them the internal lock is an uncontended
+// second acquire — nanoseconds against a compile. What the lock buys is
+// that a caller without compound sequences, like the fleet store's
+// eviction layer, cannot corrupt the recency list by racing Get
+// promotions against Add evictions.
 package lru
+
+import "sync"
 
 // Stats is a point-in-time snapshot of a cache's effectiveness counters.
 type Stats struct {
@@ -30,9 +37,11 @@ type entry[K comparable, V any] struct {
 	prev, next *entry[K, V]
 }
 
-// Cache is a fixed-capacity map with least-recently-used eviction.
-// The zero value is not usable; construct with New.
+// Cache is a fixed-capacity map with least-recently-used eviction,
+// safe for concurrent use. The zero value is not usable; construct
+// with New.
 type Cache[K comparable, V any] struct {
+	mu       sync.Mutex
 	capacity int
 	m        map[K]*entry[K, V]
 	root     entry[K, V] // sentinel of the circular recency list
@@ -70,6 +79,8 @@ func (c *Cache[K, V]) pushFront(e *entry[K, V]) {
 // Get returns the value for k, promoting it to most recently used. The
 // miss counter advances on lookup failure.
 func (c *Cache[K, V]) Get(k K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if e, ok := c.m[k]; ok {
 		c.hits++
 		c.unlink(e)
@@ -81,9 +92,23 @@ func (c *Cache[K, V]) Get(k K) (V, bool) {
 	return zero, false
 }
 
+// Peek returns the value for k without promoting it and without
+// touching the hit/miss counters — a residency probe, not a use.
+func (c *Cache[K, V]) Peek(k K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[k]; ok {
+		return e.val, true
+	}
+	var zero V
+	return zero, false
+}
+
 // Add inserts or updates k, making it the most recently used entry and
 // evicting the least recently used one if the cache is over capacity.
 func (c *Cache[K, V]) Add(k K, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if e, ok := c.m[k]; ok {
 		e.val = v
 		c.unlink(e)
@@ -102,9 +127,15 @@ func (c *Cache[K, V]) Add(k K, v V) {
 }
 
 // Len reports the number of cached entries.
-func (c *Cache[K, V]) Len() int { return len(c.m) }
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
 
 // Stats snapshots the effectiveness counters.
 func (c *Cache[K, V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Len: len(c.m)}
 }

@@ -1,6 +1,9 @@
 package lru
 
-import "testing"
+import (
+	"sync"
+	"testing"
+)
 
 func TestEvictsLeastRecentlyUsed(t *testing.T) {
 	c := New[int, string](2)
@@ -73,6 +76,68 @@ func TestCapacityOne(t *testing.T) {
 	}
 	if v, ok := c.Get("b"); !ok || v != 2 {
 		t.Errorf("Get(b) = %d, %v", v, ok)
+	}
+}
+
+// TestConcurrentChurn hammers Get/Add/Len/Stats from 8 goroutines over
+// a key space larger than the capacity, so promotions, insertions and
+// evictions interleave constantly. Run under -race this is the
+// concurrency-safety proof the shared content-addressed store
+// (internal/store) builds on; the final structural sweep catches
+// recency-list corruption that the race detector alone would miss.
+func TestConcurrentChurn(t *testing.T) {
+	const (
+		goroutines = 8
+		iters      = 5000
+		keySpace   = 37
+		capacity   = 16
+	)
+	c := New[int, int](capacity)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := (i*7 + g*13) % keySpace
+				switch i % 4 {
+				case 0:
+					c.Add(k, g<<16|i)
+				case 1:
+					if v, ok := c.Get(k); ok && v>>16 >= goroutines {
+						t.Errorf("Get(%d) returned mangled value %#x", k, v)
+						return
+					}
+				case 2:
+					if n := c.Len(); n < 0 || n > capacity {
+						t.Errorf("Len = %d outside [0, %d]", n, capacity)
+						return
+					}
+				default:
+					s := c.Stats()
+					if s.Len < 0 || s.Len > capacity {
+						t.Errorf("Stats.Len = %d outside [0, %d]", s.Len, capacity)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// The quiesced list and map must agree exactly.
+	if n := c.Len(); n > capacity {
+		t.Fatalf("cache grew past capacity: %d", n)
+	}
+	seen := 0
+	for e := c.root.next; e != &c.root; e = e.next {
+		if got, ok := c.m[e.key]; !ok || got != e {
+			t.Fatalf("list entry %v not in map after churn", e.key)
+		}
+		seen++
+	}
+	if seen != len(c.m) {
+		t.Fatalf("list has %d entries, map has %d", seen, len(c.m))
 	}
 }
 

@@ -1,0 +1,44 @@
+// Package sigctx is the one place this repository turns SIGINT/SIGTERM
+// into context cancellation. Every long-running binary — the fleet
+// daemon's workers and the vega-inject / vega-sta / vega-lift CLIs —
+// shares this path, so "operator hits Ctrl-C" and "fleetd drains a
+// worker on shutdown" are the same event to the code underneath: the
+// context cancels, checkpointed work flushes its current state (the
+// injection engine persists completed waves and returns a graceful
+// partial report), and the process exits with ExitInterrupted so
+// wrappers can tell an interrupted run from a failed one.
+//
+// A second signal while shutting down bypasses the graceful path: Notify
+// registers with signal.NotifyContext semantics, which restore default
+// disposition once the context cancels, so the follow-up signal kills
+// the process outright. An operator is never trapped behind a drain.
+package sigctx
+
+import (
+	"context"
+	"errors"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// ExitInterrupted is the process exit code for a run that was cut short
+// by SIGINT/SIGTERM but shut down cleanly (checkpoint flushed, partial
+// results reported). 130 = 128 + SIGINT, the shell convention.
+const ExitInterrupted = 130
+
+// Notify returns a copy of parent that is cancelled on SIGINT or
+// SIGTERM. The returned stop releases the signal registration (and
+// restores default disposition, making a later signal fatal again);
+// call it as soon as the guarded work completes.
+func Notify(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}
+
+// Interrupted reports whether ctx was cancelled outright — the signal
+// path — rather than expired. A deadline-bounded campaign that ran out
+// of time returns DeadlineExceeded and is not "interrupted": it did all
+// the work its budget allowed.
+func Interrupted(ctx context.Context) bool {
+	return errors.Is(ctx.Err(), context.Canceled)
+}

@@ -1,0 +1,51 @@
+package sigctx
+
+import (
+	"context"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestSignalCancels delivers a real SIGINT to the process and asserts
+// the notified context cancels. Safe under `go test`: Notify intercepts
+// the signal before the default handler would kill the test binary.
+func TestSignalCancels(t *testing.T) {
+	ctx, stop := Notify(context.Background())
+	defer stop()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatalf("self-signal: %v", err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context not cancelled within 5s of SIGINT")
+	}
+	if !Interrupted(ctx) {
+		t.Errorf("Interrupted = false after signal cancellation (err=%v)", ctx.Err())
+	}
+}
+
+// TestDeadlineIsNotInterrupted pins the distinction the CLIs rely on:
+// an expired -deadline reports a partial result with a zero exit, only
+// a signal produces ExitInterrupted.
+func TestDeadlineIsNotInterrupted(t *testing.T) {
+	parent, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	ctx, stop := Notify(parent)
+	defer stop()
+	<-ctx.Done()
+	if Interrupted(ctx) {
+		t.Errorf("deadline expiry classified as interruption (err=%v)", ctx.Err())
+	}
+}
+
+func TestStopReleasesRegistration(t *testing.T) {
+	ctx, stop := Notify(context.Background())
+	stop()
+	if ctx.Err() == nil {
+		// NotifyContext cancels on stop; either way the context must be
+		// done so deferred cleanup paths run.
+		t.Error("stop did not cancel the notified context")
+	}
+}

@@ -57,7 +57,16 @@ type BatchConfig struct {
 	Model *aging.Model
 	// Profile supplies per-net signal probabilities; required when any
 	// corner has Years > 0.
-	Profile     *sim.Profile
+	Profile *sim.Profile
+	// Libs, when non-nil, supplies the per-corner aged libraries directly
+	// and skips the aging.NewCornerGrid characterization — the reuse seam
+	// the fleet daemon's content-addressed store plugs into, so repeated
+	// submissions of one netlist pay the grid once (see CornerLibraries).
+	// Must be exactly one entry per corner, nil entries marking fresh
+	// corners, and must have been built from the same Base/Model/Profile
+	// this config carries or the results are silently wrong. A stale Libs
+	// also binds Incremental.SetCorners to the same corner count.
+	Libs        []*aging.Library
 	MaxPaths    int
 	PerEndpoint int
 	// Parallelism bounds the path-enumeration fan-out (0 = all CPUs).
@@ -90,10 +99,28 @@ func AnalyzeCorners(nl *netlist.Netlist, cfg BatchConfig, corners []Corner) []*R
 	return results
 }
 
+// CornerLibraries precomputes the per-corner aged libraries that
+// AnalyzeCorners would derive internally, for callers that reuse one
+// corner grid across many analyses of the same netlist via
+// BatchConfig.Libs. The returned slice is read-only and position-matched
+// to corners; cfg.Libs itself is ignored here.
+func CornerLibraries(name string, cfg BatchConfig, corners []Corner) []*aging.Library {
+	cfg.Libs = nil
+	return cornerLibs(name, cfg, corners)
+}
+
 // cornerLibs derives every corner's aged library through one
-// aging.NewCornerGrid characterization (nil entries mark fresh corners).
+// aging.NewCornerGrid characterization (nil entries mark fresh corners),
+// or hands back the precomputed cfg.Libs when the caller supplied them.
 // Shared by the batched one-shot pass and the incremental engine.
 func cornerLibs(name string, cfg BatchConfig, corners []Corner) []*aging.Library {
+	if cfg.Libs != nil {
+		if len(cfg.Libs) != len(corners) {
+			panic(fmt.Sprintf("sta: %s: BatchConfig.Libs has %d entries for %d corners",
+				name, len(cfg.Libs), len(corners)))
+		}
+		return cfg.Libs
+	}
 	K := len(corners)
 	libs := make([]*aging.Library, K)
 	anyAged := false

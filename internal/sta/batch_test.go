@@ -193,6 +193,40 @@ func TestBatchedDeterminism(t *testing.T) {
 	}
 }
 
+// TestPrecomputedLibsMatch is the contract behind BatchConfig.Libs (the
+// fleet daemon's corner-grid reuse seam): AnalyzeCorners with libraries
+// precomputed via CornerLibraries must be bit-identical to the same
+// analysis deriving its own grid — DeepEqual over the full Results, same
+// standard as the scalar differential.
+func TestPrecomputedLibsMatch(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		nl, cfg, corners := randomCase(seed)
+		want := AnalyzeCorners(nl, cfg, corners)
+		cfg.Libs = CornerLibraries(nl.Name, cfg, corners)
+		got := AnalyzeCorners(nl, cfg, corners)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: precomputed-Libs results differ from self-derived grid", seed)
+		}
+	}
+}
+
+// TestLibsLengthMismatchPanics pins the misuse guard: handing K libs to
+// an analysis over a different corner count must panic rather than
+// silently mis-age corners.
+func TestLibsLengthMismatchPanics(t *testing.T) {
+	nl, cfg, corners := randomCase(3)
+	if len(corners) < 2 {
+		corners = append(corners, Corner{Years: 5})
+	}
+	cfg.Libs = CornerLibraries(nl.Name, cfg, corners)[:1]
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched BatchConfig.Libs length did not panic")
+		}
+	}()
+	AnalyzeCorners(nl, cfg, corners[:2])
+}
+
 // TestPairViolatingBothChecks is the regression for the pair-keying fix:
 // a launch/capture pair whose data path violates setup through its slow
 // branch and hold through its fast branch must yield two PairSummary
