@@ -28,6 +28,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/fleet"
 	"repro/internal/fleet/loadtest"
 	"repro/internal/sigctx"
@@ -39,6 +40,10 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "worker pool size")
 	jobsFlag := flag.Int("j", 1, "per-job internal parallelism (results are identical at every setting)")
 	cache := flag.Int("cache", 128, "shared artifact-store capacity")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job execution deadline (0 = none); expired jobs are retried up to -max-attempts")
+	maxAttempts := flag.Int("max-attempts", 0, "execution attempts before a job fails as poison (0 = default 5)")
+	maxBody := flag.Int64("max-body", 0, "POST /jobs body cap in bytes (0 = default 8 MiB); oversized submissions get 413")
+	chaosPlan := flag.String("chaos", "", "TESTING ONLY: injected fault plan for the daemon's own I/O, e.g. \"crash@17,torn@5:12,flip@7:3\" (crash points exit the process)")
 
 	loadMode := flag.Bool("loadtest", false, "run the load-test harness against an in-process daemon instead of serving")
 	ltJobs := flag.Int("jobs", 3000, "loadtest: total submissions")
@@ -47,7 +52,19 @@ func main() {
 	ltOut := flag.String("o", "BENCH_fleetd.json", "loadtest: report output path")
 	flag.Parse()
 
-	opts := fleet.Options{Dir: *dir, Workers: *workers, Parallelism: *jobsFlag, CacheCap: *cache}
+	opts := fleet.Options{Dir: *dir, Workers: *workers, Parallelism: *jobsFlag, CacheCap: *cache,
+		JobTimeout: *jobTimeout, MaxAttempts: *maxAttempts, MaxBodyBytes: *maxBody}
+	if *chaosPlan != "" {
+		plan, err := chaos.ParsePlan(*chaosPlan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vega-fleetd:", err)
+			os.Exit(2)
+		}
+		inj := chaos.NewInjected(chaos.OS{}, plan)
+		inj.ExitOnCrash = true // a crash point kills the live daemon for real
+		opts.FS = inj
+		fmt.Fprintf(os.Stderr, "vega-fleetd: CHAOS MODE — fault plan %q armed on the state directory\n", plan.String())
+	}
 	if *loadMode {
 		if err := runLoadtest(opts, *ltJobs, *ltConc, *ltCells, *ltOut); err != nil {
 			fmt.Fprintln(os.Stderr, "vega-fleetd:", err)
@@ -70,7 +87,16 @@ func serve(addr string, opts fleet.Options) error {
 		return err
 	}
 	s.Start()
-	httpSrv := &http.Server{Addr: addr, Handler: s.Handler()}
+	// Slowloris and dead-peer protection: a client that trickles its
+	// headers, never finishes its body, or parks an idle connection must
+	// not pin a daemon file descriptor forever.
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 
 	ctx, stop := sigctx.Notify(context.Background())
 	defer stop()

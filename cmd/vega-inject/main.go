@@ -33,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/inject"
 	"repro/internal/report"
@@ -69,6 +70,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	years := fs.Float64("years", 10, "assumed lifetime in years")
 	jobs := fs.Int("j", 0, "worker parallelism (0 = all CPUs, 1 = sequential)")
 	scalar := fs.Bool("scalar", false, "force the scalar one-replay-per-injection baseline (no packed waves)")
+	chaosPlan := fs.String("chaos", "", "TESTING ONLY: injected fault plan for checkpoint I/O, e.g. \"crash@3,flip@2:9\" (crash points exit the process)")
 	stats := fs.Bool("stats", false, "print packed-simulation accounting (wave occupancy, retired lanes, replay savings)")
 	guards := fs.String("guards", "", "always-on runtime guards: \"all\" or comma-separated guard names (empty = unguarded)")
 	if err := fs.Parse(args); err != nil {
@@ -97,6 +99,18 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		ctx, cancel = context.WithTimeout(ctx, *deadline)
 		defer cancel()
 	}
+	var fsys chaos.FS
+	if *chaosPlan != "" {
+		plan, err := chaos.ParsePlan(*chaosPlan)
+		if err != nil {
+			return err
+		}
+		inj := chaos.NewInjected(chaos.OS{}, plan)
+		inj.ExitOnCrash = true // crash points kill the process, like real power loss
+		fsys = inj
+		fmt.Fprintf(os.Stderr, "vega-inject: CHAOS MODE — fault plan %q armed on checkpoint I/O\n", plan.String())
+	}
+
 	start := time.Now()
 	rep, ps, err := w.InjectionCampaignStats(ctx, core.InjectOptions{
 		Seed:           *seed,
@@ -106,6 +120,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Budget:         *budget,
 		MaxCycles:      *maxCycles,
 		CheckpointPath: *checkpoint,
+		FS:             fsys,
 		Scalar:         *scalar,
 		Guards:         guardList(*guards),
 	})

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/embench"
 	"repro/internal/inject"
 	"repro/internal/integrate"
@@ -38,6 +39,9 @@ type InjectOptions struct {
 	// number of completed injections (see inject.Config.OnCheckpoint) —
 	// the progress hook the fleet daemon surfaces on GET /jobs/{id}.
 	OnCheckpoint func(done int)
+	// FS is the filesystem seam checkpoint I/O goes through (nil: the
+	// real filesystem) — see inject.Config.FS and internal/chaos.
+	FS chaos.FS
 	// Scalar forces the one-replay-per-injection baseline path instead
 	// of packed concurrent fault simulation (differential debugging).
 	Scalar bool
@@ -132,6 +136,7 @@ func (w *Workflow) InjectionCampaignStats(ctx context.Context, opts InjectOption
 		CheckpointPath:  opts.CheckpointPath,
 		CheckpointEvery: opts.CheckpointEvery,
 		OnCheckpoint:    opts.OnCheckpoint,
+		FS:              opts.FS,
 		Scalar:          opts.Scalar,
 		Guards:          opts.Guards,
 	})

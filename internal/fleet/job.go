@@ -36,11 +36,13 @@ package fleet
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"repro/internal/chaos"
 )
 
 // Job kinds.
@@ -95,6 +97,14 @@ type Spec struct {
 	SPSeed   int64 `json:"sp_seed,omitempty"`
 	// YearsGrid lists the sweep lifetimes (default 0, 3.3, 6.6, 10).
 	YearsGrid []float64 `json:"years_grid,omitempty"`
+
+	// SubmitKey is an optional client-chosen idempotency key: a resend
+	// of the same logical submission (a retry after a lost response)
+	// carries the same key and maps onto the already-accepted job
+	// instead of creating a duplicate. The key embeds the content hash
+	// of the spec, and the server verifies that hash on a dedup hit, so
+	// a replayed key can never attach to different work.
+	SubmitKey string `json:"submit_key,omitempty"`
 }
 
 // fill applies the spec defaults shared by the runner and the cache-key
@@ -162,8 +172,14 @@ type Job struct {
 	// (excluding queue wait) — the latency the cache actually shortens,
 	// measured server-side so client-side queueing can't distort the
 	// load-test curve.
-	ServiceMs float64         `json:"service_ms,omitempty"`
-	Progress  Progress        `json:"progress"`
+	ServiceMs float64 `json:"service_ms,omitempty"`
+	// Attempts counts how many times the job has started executing —
+	// across restarts, requeues and deadline retries. When it reaches
+	// Options.MaxAttempts the job lands in failed with a reason instead
+	// of requeueing forever: a poison job (one that crashes or hangs the
+	// daemon every time) cannot pin the fleet in a crash loop.
+	Attempts int             `json:"attempts,omitempty"`
+	Progress Progress        `json:"progress"`
 	Result   json.RawMessage `json:"result,omitempty"`
 
 	// ckpt is the campaign checkpoint path, derived from the state dir
@@ -195,44 +211,84 @@ type SweepResult struct {
 func jobPath(dir, id string) string  { return filepath.Join(dir, id+".json") }
 func ckptPath(dir, id string) string { return filepath.Join(dir, id+".ckpt") }
 
-// saveJob persists j under dir with the atomic-rename discipline the
-// checkpoint files use: a torn write can never corrupt the record a
-// restarting daemon recovers from.
-func saveJob(dir string, j *Job) error {
-	data, err := json.MarshalIndent(j, "", "  ")
+// diskJob is the persisted form of a Job. The result payload moves to
+// a base64 field because encoding/json re-indents an embedded
+// RawMessage, and a result served after a restart must be byte-for-byte
+// the report the job originally produced. Legacy records carry the
+// result in the embedded field and load with normalized whitespace.
+type diskJob struct {
+	Job
+	ResultRaw []byte `json:"result_raw,omitempty"`
+}
+
+// saveJob persists j under dir, sealed in the self-verifying envelope
+// and written with the durable atomic sequence (tmp write, fsync,
+// rename, directory fsync): a torn write or power loss can never
+// corrupt the record a restarting daemon recovers from, and silent
+// on-disk corruption is detected — not loaded — by loadJobs.
+func saveJob(fs chaos.FS, dir string, j *Job) error {
+	dj := diskJob{Job: *j, ResultRaw: j.Result}
+	dj.Job.Result = nil
+	data, err := json.MarshalIndent(&dj, "", "  ")
 	if err != nil {
 		return err
 	}
-	tmp := jobPath(dir, j.ID) + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, jobPath(dir, j.ID))
+	return chaos.WriteAtomic(fs, jobPath(dir, j.ID), chaos.Seal(data), 0o644)
 }
 
 // loadJobs recovers every persisted job record in dir, sorted by ID so
-// requeue order is deterministic across restarts.
-func loadJobs(dir string) ([]*Job, error) {
-	ents, err := os.ReadDir(dir)
+// requeue order is deterministic across restarts. Records that fail
+// their envelope check or no longer parse are quarantined (moved to
+// dir/quarantine/) and reported by name — one corrupt record must not
+// brick every restart — and leftover .tmp debris from a crashed write
+// is deleted (by the atomic-rename contract it was never committed).
+// Legacy un-sealed records from pre-envelope builds load verbatim.
+func loadJobs(fs chaos.FS, dir string) (jobs []*Job, quarantined []string, err error) {
+	ents, err := fs.ReadDir(dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	var jobs []*Job
 	for _, e := range ents {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+		if e.IsDir() {
 			continue
 		}
-		data, err := os.ReadFile(filepath.Join(dir, name))
+		if strings.HasSuffix(name, ".tmp") {
+			_ = fs.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		data, err := fs.ReadFile(path)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		var j Job
-		if err := json.Unmarshal(data, &j); err != nil {
-			return nil, fmt.Errorf("fleet: corrupt job record %s: %w", name, err)
+		payload, _, err := chaos.Open(data)
+		if errors.Is(err, chaos.ErrNewerVersion) {
+			// Not corruption: the record outranks the binary. Refuse to
+			// start rather than quarantine state that is presumed good.
+			return nil, nil, fmt.Errorf("fleet: job record %s: %w", name, err)
 		}
-		jobs = append(jobs, &j)
+		if err == nil {
+			var dj diskJob
+			if jerr := json.Unmarshal(payload, &dj); jerr == nil {
+				j := dj.Job
+				if dj.ResultRaw != nil {
+					j.Result = dj.ResultRaw
+				}
+				jobs = append(jobs, &j)
+				continue
+			} else {
+				err = jerr
+			}
+		}
+		if _, qerr := chaos.Quarantine(fs, path); qerr != nil {
+			return nil, nil, fmt.Errorf("fleet: job record %s corrupt (%v) and quarantine failed: %w", name, err, qerr)
+		}
+		quarantined = append(quarantined, name)
 	}
 	sort.Slice(jobs, func(a, b int) bool { return jobs[a].ID < jobs[b].ID })
-	return jobs, nil
+	return jobs, quarantined, nil
 }

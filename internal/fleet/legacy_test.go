@@ -1,0 +1,179 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+// TestLegacyJobRecordLoads: job records written by pre-envelope builds
+// are plain JSON with the result embedded. A daemon upgrade must load
+// them verbatim — no envelope, no checksum, no migration step.
+func TestLegacyJobRecordLoads(t *testing.T) {
+	dir := t.TempDir()
+	legacy := &Job{
+		ID:     "j000007",
+		Spec:   Spec{Kind: KindSweep, Verilog: tinyVerilog(1)},
+		Status: StatusDone,
+		Result: json.RawMessage(`{"netlist":"legacy","cells":1}`),
+	}
+	data, err := json.MarshalIndent(legacy, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(jobPath(dir, legacy.ID), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := New(Options{Dir: dir, Workers: 1})
+	if err != nil {
+		t.Fatalf("daemon refused legacy record: %v", err)
+	}
+	defer func() { _ = s.Shutdown(context.Background()) }()
+	j, ok := s.Job(legacy.ID)
+	if !ok || j.Status != StatusDone {
+		t.Fatalf("legacy record not recovered: %+v", j)
+	}
+	if j.Result == nil {
+		t.Fatal("legacy embedded result dropped")
+	}
+	if len(s.quarantined) != 0 {
+		t.Fatalf("legacy record quarantined: %v", s.quarantined)
+	}
+	// The ID sequence must clear the recovered record.
+	s.Start()
+	j2, err := s.Submit(Spec{Kind: KindSweep, Verilog: tinyVerilog(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.ID <= legacy.ID {
+		t.Fatalf("new job ID %s does not clear recovered %s", j2.ID, legacy.ID)
+	}
+}
+
+// TestCorruptJobRecordQuarantined is the regression test for the old
+// fail-closed recovery: one flipped bit in one job record used to
+// abort the whole daemon start. Now the record is quarantined, the
+// corruption is reported on /metrics, and the daemon keeps serving.
+func TestCorruptJobRecordQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	good := &Job{ID: "j000001", Spec: Spec{Kind: KindSweep, Verilog: tinyVerilog(1)}, Status: StatusDone,
+		Result: json.RawMessage(`{"ok":1}`)}
+	bad := &Job{ID: "j000002", Spec: Spec{Kind: KindSweep, Verilog: tinyVerilog(1)}, Status: StatusDone}
+	for _, j := range []*Job{good, bad} {
+		if err := saveJob(chaos.OS{}, dir, j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := jobPath(dir, bad.ID)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x04 // one silent bit flip in the payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := New(Options{Dir: dir, Workers: 1})
+	if err != nil {
+		t.Fatalf("one corrupt record aborted the daemon: %v", err)
+	}
+	s.Start()
+	defer func() { _ = s.Shutdown(context.Background()) }()
+
+	if _, ok := s.Job(good.ID); !ok {
+		t.Fatal("healthy record lost alongside the corrupt one")
+	}
+	if _, ok := s.Job(bad.ID); ok {
+		t.Fatal("corrupt record served as a job")
+	}
+	m := s.MetricsSnapshot()
+	if len(m.Quarantined) != 1 || m.Quarantined[0] != bad.ID+".json" {
+		t.Fatalf("metrics quarantine census = %v, want [%s.json]", m.Quarantined, bad.ID)
+	}
+	if _, err := os.Stat(filepath.Join(dir, chaos.QuarantineDirName, bad.ID+".json")); err != nil {
+		t.Fatalf("corrupt record not preserved in quarantine: %v", err)
+	}
+	// The daemon is degraded, not dead: it still takes and finishes work.
+	j, err := s.Submit(Spec{Kind: KindSweep, Verilog: tinyVerilog(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		cur, _ := s.Job(j.ID)
+		if cur.Status == StatusDone {
+			break
+		}
+		if cur.Status == StatusFailed || cur.Status == StatusCancelled {
+			t.Fatalf("post-quarantine job finished %s (%s)", cur.Status, cur.Error)
+		}
+	}
+}
+
+// TestRecordRoundTripPreservesResultBytes: a done record reloaded from
+// disk must serve the byte-identical result payload — encoding/json
+// would re-indent an embedded raw message, which is why the persisted
+// form carries the result out-of-band.
+func TestRecordRoundTripPreservesResultBytes(t *testing.T) {
+	dir := t.TempDir()
+	result := json.RawMessage("{\n  \"a\": [1, 2,    3],\n\t\"b\": \"x\"\n}")
+	j := &Job{ID: "j000003", Spec: Spec{Kind: KindLift, Unit: "ALU"}, Status: StatusDone, Result: result}
+	if err := saveJob(chaos.OS{}, dir, j); err != nil {
+		t.Fatal(err)
+	}
+	jobs, quarantined, err := loadJobs(chaos.OS{}, dir)
+	if err != nil || len(quarantined) != 0 || len(jobs) != 1 {
+		t.Fatalf("load: jobs=%d quarantined=%v err=%v", len(jobs), quarantined, err)
+	}
+	if !bytes.Equal(jobs[0].Result, result) {
+		t.Fatalf("result bytes mangled by persistence round-trip:\n%q\n%q", jobs[0].Result, result)
+	}
+}
+
+// TestOversizedSubmissionRejected: a submission larger than
+// MaxBodyBytes costs a 413, not the daemon's heap.
+func TestOversizedSubmissionRejected(t *testing.T) {
+	s, err := New(Options{Dir: t.TempDir(), Workers: 1, MaxBodyBytes: 256 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer func() { _ = s.Shutdown(context.Background()) }()
+	h := httptest.NewServer(s.Handler())
+	defer h.Close()
+
+	huge, err := json.Marshal(Spec{Kind: KindSweep, Verilog: strings.Repeat("x", 1<<20)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(h.URL+"/jobs", "application/json", bytes.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized submission got %d, want 413", resp.StatusCode)
+	}
+	// A normal-sized submission on the same daemon still works.
+	ok, err := json.Marshal(Spec{Kind: KindSweep, Verilog: tinyVerilog(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.Post(h.URL+"/jobs", "application/json", bytes.NewReader(ok))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("normal submission after 413 got %d, want 202", resp2.StatusCode)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 )
 
@@ -66,7 +67,7 @@ func TestRestartResume(t *testing.T) {
 
 	// The interrupted job must be requeued on disk with real progress
 	// behind it — otherwise this test would not exercise resume at all.
-	recovered, err := loadJobs(dir)
+	recovered, _, err := loadJobs(chaos.OS{}, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestRestartResume(t *testing.T) {
 	// the graceful requeue leaves the record saying "running". Restart
 	// must treat that as interrupted work too.
 	rec.Status = StatusRunning
-	if err := saveJob(dir, rec); err != nil {
+	if err := saveJob(chaos.OS{}, dir, rec); err != nil {
 		t.Fatal(err)
 	}
 

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/aging"
 	"repro/internal/cell"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/lift"
 	"repro/internal/netlist"
@@ -54,6 +55,10 @@ func probeKey(sp *Spec) string {
 type runner struct {
 	store       *store.Store
 	parallelism int
+	// fs is the chaos seam campaign checkpoints are written through —
+	// the same one the server persists job records with, so one fault
+	// plan covers every byte the daemon puts on disk.
+	fs chaos.FS
 }
 
 // run dispatches on the job kind and returns the result payload. The
@@ -128,6 +133,7 @@ func (r *runner) runCampaign(ctx context.Context, j *Job, onProgress func(done, 
 		MaxCycles:       sp.MaxCycles,
 		CheckpointPath:  j.ckpt,
 		CheckpointEvery: sp.CheckpointEvery,
+		FS:              r.fs,
 		OnCheckpoint: func(done int) {
 			if onProgress != nil {
 				onProgress(done, total)

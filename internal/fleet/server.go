@@ -6,11 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"os"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/par"
 	"repro/internal/store"
 )
@@ -31,6 +31,29 @@ type Options struct {
 	// CacheCap bounds the shared content-addressed store (default 128
 	// artifacts).
 	CacheCap int
+	// Store, when non-nil, is used instead of building a fresh store —
+	// the warm-restart seam: a supervisor that replaces a crashed
+	// daemon in-process hands the compiled artifacts across, and the
+	// torture harness uses it so a 40-point crash matrix compiles its
+	// workflow once. CacheCap is ignored when Store is set.
+	Store *store.Store
+	// FS is the filesystem seam all job-record and checkpoint I/O goes
+	// through (default: the real filesystem). The chaos tests inject
+	// seeded fault plans here.
+	FS chaos.FS
+	// JobTimeout, when positive, is the per-job execution deadline. A
+	// job that exceeds it is interrupted at its next cancellation point
+	// (campaigns flush their checkpoint first) and retried — until
+	// MaxAttempts, when it fails with a reason. Zero disables the
+	// deadline.
+	JobTimeout time.Duration
+	// MaxAttempts caps how many times one job may start executing
+	// (default 5): requeues from restarts and deadline retries beyond
+	// the cap land the job in failed instead of looping forever.
+	MaxAttempts int
+	// MaxBodyBytes caps a POST /jobs body (default 8 MiB). Oversized
+	// submissions get 413, not an OOM.
+	MaxBodyBytes int64
 }
 
 func (o *Options) fill() {
@@ -43,6 +66,15 @@ func (o *Options) fill() {
 	if o.CacheCap == 0 {
 		o.CacheCap = 128
 	}
+	if o.MaxAttempts == 0 {
+		o.MaxAttempts = 5
+	}
+	if o.MaxBodyBytes == 0 {
+		o.MaxBodyBytes = 8 << 20
+	}
+	if o.FS == nil {
+		o.FS = chaos.OS{}
+	}
 }
 
 // Server is the fleet daemon: a job queue, a bounded worker pool built
@@ -51,12 +83,18 @@ type Server struct {
 	opts   Options
 	store  *store.Store
 	runner *runner
+	fs     chaos.FS
 
 	mu      sync.Mutex
 	jobs    map[string]*Job
 	cancels map[string]context.CancelFunc // running jobs only
-	seq     int
-	closed  bool
+	byKey   map[string]string             // Spec.SubmitKey -> job ID (idempotent resubmit)
+	// quarantined lists the corrupt record files moved aside at startup
+	// (relative names) — served on /metrics so corruption is loud even
+	// though it no longer stops the daemon.
+	quarantined []string
+	seq         int
+	closed      bool
 
 	queue    chan string
 	ctx      context.Context // cancelled by Shutdown: drains workers
@@ -77,44 +115,65 @@ const queueCap = 8192
 // New creates a server over opts.Dir, recovering persisted job state:
 // done/failed/cancelled records are served as-is, queued records and
 // running records from an interrupted daemon are requeued (campaign
-// jobs then resume from their checkpoint files). Call Start to launch
+// jobs then resume from their checkpoint files), and corrupt records
+// are quarantined instead of failing the start. Call Start to launch
 // the workers.
 func New(opts Options) (*Server, error) {
 	opts.fill()
 	if opts.Dir == "" {
 		return nil, fmt.Errorf("fleet: Options.Dir is required")
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	if err := opts.FS.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	st := store.New(opts.CacheCap)
+	st := opts.Store
+	if st == nil {
+		st = store.New(opts.CacheCap)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opts:    opts,
 		store:   st,
-		runner:  &runner{store: st, parallelism: opts.Parallelism},
+		runner:  &runner{store: st, parallelism: opts.Parallelism, fs: opts.FS},
+		fs:      opts.FS,
 		jobs:    make(map[string]*Job),
 		cancels: make(map[string]context.CancelFunc),
+		byKey:   make(map[string]string),
 		queue:   make(chan string, queueCap),
 		ctx:     ctx,
 		cancel:  cancel,
 	}
-	prior, err := loadJobs(opts.Dir)
+	prior, quarantined, err := loadJobs(opts.FS, opts.Dir)
 	if err != nil {
 		cancel()
 		return nil, err
 	}
+	s.quarantined = quarantined
 	for _, j := range prior {
 		j.ckpt = ckptPath(opts.Dir, j.ID)
 		if j.Status == StatusRunning || j.Status == StatusQueued {
-			j.Status = StatusQueued
-			if err := saveJob(opts.Dir, j); err != nil {
+			if j.Attempts >= opts.MaxAttempts {
+				// Poison-job fuse: a record that keeps getting requeued
+				// (daemon crashed or timed out on it MaxAttempts times)
+				// fails with a reason instead of crash-looping the fleet.
+				j.Status = StatusFailed
+				j.Error = fmt.Sprintf("fleet: requeue attempts exhausted (%d/%d) — poison job?",
+					j.Attempts, opts.MaxAttempts)
+			} else {
+				j.Status = StatusQueued
+			}
+			if err := saveJob(opts.FS, opts.Dir, j); err != nil {
 				cancel()
 				return nil, err
 			}
-			s.queue <- j.ID
+			if j.Status == StatusQueued {
+				s.queue <- j.ID
+			}
 		}
 		s.jobs[j.ID] = j
+		if j.Spec.SubmitKey != "" {
+			s.byKey[j.Spec.SubmitKey] = j.ID
+		}
 		// Keep seq ahead of every recovered ID (IDs are zero-padded,
 		// so the lexicographic max is the numeric max).
 		var n int
@@ -163,16 +222,22 @@ func (s *Server) execute(id string) {
 		return
 	}
 	jctx, jcancel := context.WithCancel(s.ctx)
+	if s.opts.JobTimeout > 0 {
+		// Per-job deadline: a hung or poison job is interrupted at its
+		// next cancellation point instead of pinning this worker forever.
+		jctx, jcancel = context.WithTimeout(jctx, s.opts.JobTimeout)
+	}
 	j.Status = StatusRunning
+	j.Attempts++
 	s.cancels[id] = jcancel
 	spec := j.Spec // runner reads the copy; record stays handler-owned
-	_ = saveJob(s.opts.Dir, j)
+	_ = saveJob(s.fs, s.opts.Dir, j)
 	s.mu.Unlock()
 	defer jcancel()
 
 	started := time.Now()
 	work := &Job{ID: j.ID, Spec: spec, ckpt: j.ckpt}
-	result, err := s.runner.run(jctx, work, func(done, total int) {
+	result, err := s.runSafely(jctx, work, func(done, total int) {
 		p := Progress{Done: done, Total: total}
 		s.mu.Lock()
 		j.Progress = p
@@ -183,6 +248,7 @@ func (s *Server) execute(id string) {
 	})
 
 	elapsed := time.Since(started)
+	timedOut := errors.Is(jctx.Err(), context.DeadlineExceeded)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.cancels, id)
@@ -192,6 +258,12 @@ func (s *Server) execute(id string) {
 		// Daemon shutdown mid-campaign: the wave checkpoint is on disk,
 		// requeue so a restarted daemon resumes to the identical report.
 		j.Status = StatusQueued
+	case err != nil && timedOut:
+		// Deadline hit: campaigns flushed a checkpoint, so a retry picks
+		// up the completed prefix. The attempt counter bounds how often —
+		// a job that can never finish lands in failed with the reason.
+		s.requeueOrFail(j, fmt.Sprintf("fleet: job deadline %s exceeded (attempt %d/%d)",
+			s.opts.JobTimeout, j.Attempts, s.opts.MaxAttempts))
 	case err == errPartial:
 		// User cancel: record the partial report for inspection.
 		j.Status = StatusCancelled
@@ -211,10 +283,55 @@ func (s *Server) execute(id string) {
 			j.Progress.Done = j.Progress.Total
 		}
 	}
-	_ = saveJob(s.opts.Dir, j)
+	_ = saveJob(s.fs, s.opts.Dir, j)
+}
+
+// runSafely wraps the runner so a panicking job degrades to a failed
+// record instead of killing the whole daemon: one poison submission
+// must never take the fleet down with it.
+func (s *Server) runSafely(ctx context.Context, j *Job, onProgress func(done, total int)) (result json.RawMessage, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			result, err = nil, fmt.Errorf("fleet: job panicked: %v", r)
+		}
+	}()
+	return s.runner.run(ctx, j, onProgress)
+}
+
+// requeueOrFail puts an interrupted job back on the live queue, or
+// fails it with reason once its attempt budget is spent. Caller holds
+// s.mu.
+func (s *Server) requeueOrFail(j *Job, reason string) {
+	if j.Attempts >= s.opts.MaxAttempts {
+		j.Status = StatusFailed
+		j.Error = reason
+		return
+	}
+	select {
+	case s.queue <- j.ID:
+		j.Status = StatusQueued
+	default:
+		j.Status = StatusFailed
+		j.Error = reason + " (and requeue rejected: queue full)"
+	}
+}
+
+// specHash is the content address of a spec — what a SubmitKey binds
+// to. The key itself is excluded (it names the submission attempt, not
+// the work), so a replayed key provably carries identical work.
+func specHash(sp *Spec) string {
+	c := *sp
+	c.SubmitKey = ""
+	data, _ := json.Marshal(&c)
+	return store.HashBytes(data)
 }
 
 // Submit validates and enqueues a spec, returning the new job record.
+// A spec carrying a SubmitKey the server has seen before is an
+// idempotent resend (a client retry after a lost response): the
+// already-accepted job is returned instead of a duplicate — after
+// verifying the spec's content hash matches, so a colliding key can
+// never hand back someone else's work.
 func (s *Server) Submit(spec Spec) (*Job, error) {
 	spec.fill()
 	if err := spec.validate(); err != nil {
@@ -222,6 +339,16 @@ func (s *Server) Submit(spec Spec) (*Job, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if spec.SubmitKey != "" {
+		if id, ok := s.byKey[spec.SubmitKey]; ok {
+			j := s.jobs[id]
+			if specHash(&j.Spec) != specHash(&spec) {
+				return nil, fmt.Errorf("fleet: submit key %q already bound to different work (job %s)",
+					spec.SubmitKey, id)
+			}
+			return snapshot(j), nil
+		}
+	}
 	if s.closed {
 		return nil, errClosed
 	}
@@ -236,7 +363,7 @@ func (s *Server) Submit(spec Spec) (*Job, error) {
 		j.Progress.Total = CampaignTotal(spec.PerClass)
 	}
 	j.ckpt = ckptPath(s.opts.Dir, j.ID)
-	if err := saveJob(s.opts.Dir, j); err != nil {
+	if err := saveJob(s.fs, s.opts.Dir, j); err != nil {
 		return nil, err
 	}
 	select {
@@ -245,6 +372,9 @@ func (s *Server) Submit(spec Spec) (*Job, error) {
 		return nil, errQueueFull
 	}
 	s.jobs[j.ID] = j
+	if spec.SubmitKey != "" {
+		s.byKey[spec.SubmitKey] = j.ID
+	}
 	return snapshot(j), nil
 }
 
@@ -261,7 +391,7 @@ func (s *Server) Cancel(id string) (*Job, error) {
 	switch j.Status {
 	case StatusQueued:
 		j.Status = StatusCancelled
-		_ = saveJob(s.opts.Dir, j)
+		_ = saveJob(s.fs, s.opts.Dir, j)
 	case StatusRunning:
 		if c := s.cancels[id]; c != nil {
 			c()
@@ -293,18 +423,21 @@ func (s *Server) Jobs() []*Job {
 	return out
 }
 
-// Metrics is the /metrics payload: the shared store's counters plus the
-// job census.
+// Metrics is the /metrics payload: the shared store's counters, the
+// job census, and the records quarantined at the last startup (silent
+// corruption made loud — detected, moved aside, reported — while the
+// daemon keeps serving).
 type Metrics struct {
-	Store store.Stats    `json:"store"`
-	Jobs  map[string]int `json:"jobs"`
+	Store       store.Stats    `json:"store"`
+	Jobs        map[string]int `json:"jobs"`
+	Quarantined []string       `json:"quarantined,omitempty"`
 }
 
 // MetricsSnapshot assembles the current Metrics.
 func (s *Server) MetricsSnapshot() Metrics {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	m := Metrics{Store: s.store.Stats(), Jobs: make(map[string]int)}
+	m := Metrics{Store: s.store.Stats(), Jobs: make(map[string]int), Quarantined: s.quarantined}
 	for _, j := range s.jobs {
 		m.Jobs[j.Status]++
 	}
@@ -366,8 +499,17 @@ func (s *Server) Handler() http.Handler {
 		w.Write([]byte("ok\n"))
 	})
 	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		// Cap the body BEFORE decoding: a multi-gigabyte "netlist" must
+		// cost a 413, not the daemon's heap.
+		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 		var spec Spec
 		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				httpError(w, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("fleet: submission exceeds %d bytes", tooBig.Limit))
+				return
+			}
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
@@ -376,6 +518,9 @@ func (s *Server) Handler() http.Handler {
 			code := http.StatusBadRequest
 			if errors.Is(err, errQueueFull) || errors.Is(err, errClosed) {
 				code = http.StatusServiceUnavailable
+				// Transient overload: tell well-behaved clients when to
+				// come back instead of letting them hammer the queue.
+				w.Header().Set("Retry-After", "1")
 			}
 			httpError(w, code, err)
 			return

@@ -9,6 +9,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/chaos"
 	"repro/internal/cpu"
 	"repro/internal/engine"
 	"repro/internal/guard"
@@ -108,6 +109,12 @@ type Config struct {
 	// differential oracle and for debugging.
 	Scalar bool
 
+	// FS is the filesystem seam checkpoint I/O goes through (nil: the
+	// real filesystem). Tests inject chaos.Plan faults here to prove the
+	// checkpoint discipline survives torn writes, bit flips and crashes
+	// at every I/O step.
+	FS chaos.FS
+
 	// Guards names the always-on runtime guards (see internal/guard) to
 	// attach to the unit seam during every injection: "all", or a subset
 	// of guard.Names for the module's unit. Guards are observe-only — a
@@ -135,6 +142,9 @@ func (c *Config) fill() {
 	}
 	if c.Mode == "" {
 		c.Mode = "standalone"
+	}
+	if c.FS == nil {
+		c.FS = chaos.OS{}
 	}
 }
 
@@ -283,7 +293,7 @@ func RunWithStats(ctx context.Context, cfg Config) (*Report, *PackedStats, error
 	done := make([]bool, len(cfg.Specs))
 
 	if cfg.CheckpointPath != "" {
-		cp, err := loadCheckpoint(cfg.CheckpointPath)
+		cp, err := loadCheckpoint(cfg.FS, cfg.CheckpointPath)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -633,14 +643,12 @@ func persist(cfg *Config, results []Result, done []bool) error {
 	if err != nil {
 		return err
 	}
-	// Atomic replace: a reader (or a resumed campaign after a crash)
-	// sees either the previous checkpoint or the new one, never a torn
-	// write.
-	tmp := cfg.CheckpointPath + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("inject: checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp, cfg.CheckpointPath); err != nil {
+	// Sealed atomic replace: the envelope checksum detects silent
+	// corruption at the next load, and WriteAtomic's tmp-write -> fsync
+	// -> rename -> dir-fsync sequence guarantees a reader (or a resumed
+	// campaign after a crash, including power loss) sees either the
+	// previous checkpoint or the new one, never a torn write.
+	if err := chaos.WriteAtomic(cfg.FS, cfg.CheckpointPath, chaos.Seal(data), 0o644); err != nil {
 		return fmt.Errorf("inject: checkpoint: %w", err)
 	}
 	if cfg.OnCheckpoint != nil {
@@ -649,19 +657,37 @@ func persist(cfg *Config, results []Result, done []bool) error {
 	return nil
 }
 
-func loadCheckpoint(path string) (*checkpoint, error) {
-	data, err := os.ReadFile(path)
+// loadCheckpoint reads and unseals a checkpoint. A missing file means a
+// fresh campaign. A corrupt file — failed envelope check (flipped bit,
+// torn tail) or unparsable JSON — is quarantined next to the state it
+// failed to load as, and the campaign restarts from scratch: the
+// deterministic engine re-derives every result, so graceful degradation
+// costs recompute, never correctness. Legacy un-sealed (v1/v2 era)
+// checkpoints load verbatim.
+func loadCheckpoint(fs chaos.FS, path string) (*checkpoint, error) {
+	data, err := fs.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, nil
 	}
 	if err != nil {
 		return nil, fmt.Errorf("inject: checkpoint: %w", err)
 	}
-	var cp checkpoint
-	if err := json.Unmarshal(data, &cp); err != nil {
-		return nil, fmt.Errorf("inject: checkpoint %s corrupt: %w", path, err)
+	payload, _, err := chaos.Open(data)
+	if errors.Is(err, chaos.ErrNewerVersion) {
+		return nil, fmt.Errorf("inject: checkpoint %s: %w", path, err)
 	}
-	return &cp, nil
+	if err == nil {
+		var cp checkpoint
+		if jerr := json.Unmarshal(payload, &cp); jerr == nil {
+			return &cp, nil
+		} else {
+			err = jerr
+		}
+	}
+	if _, qerr := chaos.Quarantine(fs, path); qerr != nil {
+		return nil, fmt.Errorf("inject: checkpoint %s corrupt (%v) and quarantine failed: %w", path, err, qerr)
+	}
+	return nil, nil
 }
 
 // validateCheckpoint rejects a checkpoint written by a different

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/alu"
+	"repro/internal/chaos"
 	"repro/internal/embench"
 	"repro/internal/fpu"
 	"repro/internal/guard"
@@ -312,7 +313,7 @@ func TestGuardedCheckpointRoundTrip(t *testing.T) {
 		t.Fatalf("interrupted guarded campaign: completed %d/%d", partial.Completed, partial.Total)
 	}
 
-	cp, err := loadCheckpoint(cfg.CheckpointPath)
+	cp, err := loadCheckpoint(chaos.OS{}, cfg.CheckpointPath)
 	if err != nil {
 		t.Fatal(err)
 	}

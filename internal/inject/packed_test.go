@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/alu"
+	"repro/internal/chaos"
 	"repro/internal/fault"
 	"repro/internal/fpu"
 	"repro/internal/lift"
@@ -223,8 +224,12 @@ func TestCheckpointRejectsNewerVersion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	payload, sealed, err := chaos.Open(data)
+	if err != nil || !sealed {
+		t.Fatalf("checkpoint not sealed in the record envelope: sealed=%v err=%v", sealed, err)
+	}
 	var cp checkpoint
-	if err := json.Unmarshal(data, &cp); err != nil {
+	if err := json.Unmarshal(payload, &cp); err != nil {
 		t.Fatal(err)
 	}
 	// Unguarded campaigns stay on the version-1 schema so their
